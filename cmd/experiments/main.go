@@ -1,0 +1,65 @@
+// Command experiments regenerates every figure and quantitative claim
+// of the paper's evaluation (the per-experiment index of DESIGN.md)
+// and prints paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments              # run everything
+//	experiments -run T4,T5   # run selected experiment IDs
+//	experiments -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"supercayley/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	all := experiments.AllWithAblations()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	selected := all
+	if *run != "" {
+		selected = nil
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown ID %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		out, err := e.Run()
+		if err != nil {
+			fmt.Printf("FAILED: %v\n\n", err)
+			failed++
+			continue
+		}
+		fmt.Print(out)
+		fmt.Printf("(%.2fs)\n\n", time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

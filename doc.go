@@ -1,0 +1,19 @@
+// Package supercayley reproduces "Routing and Embeddings in Super
+// Cayley Graphs" (C.-H. Yeh, E. A. Varvarigos, H. Lee, PaCT-99):
+// the ball-arrangement game, the ten super Cayley graph families
+// (macro-star, rotation-star, complete-rotation-star, macro-rotator,
+// rotation-rotator, complete-rotation-rotator, insertion-selection,
+// macro-IS, rotation-IS, complete-rotation-IS), star-graph emulation
+// under the single-dimension and all-port communication models,
+// constant-dilation embeddings of transposition networks, bubble-sort
+// graphs, hypercubes, meshes and trees, and asymptotically optimal
+// multinode-broadcast and total-exchange algorithms.
+//
+// The library lives under internal/ (perm, gens, graph, bag, star,
+// core, topologies, embed, schedule, sim, comm); cmd/scg and
+// cmd/experiments are the executables; examples/ holds runnable
+// walkthroughs; bench_test.go in this directory regenerates every
+// figure and quantitative claim of the paper as Go benchmarks.  See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package supercayley

@@ -1,0 +1,72 @@
+// Embedding: measure the Section 5 embeddings — transposition
+// networks, hypercubes, meshes and trees into super Cayley graphs —
+// reporting load, expansion, dilation and congestion.
+//
+// Run with: go run ./examples/embedding
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"supercayley/internal/core"
+	"supercayley/internal/embed"
+)
+
+func show(e *embed.Embedding, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := e.Measure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-36s %v\n", e.Name, m)
+}
+
+func main() {
+	ms := core.MustNew(core.MS, 2, 2)
+	crs := core.MustNew(core.CompleteRS, 2, 2)
+	is, err := core.NewIS(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("— star graphs (Theorems 1–3) —")
+	show(embed.StarInto(ms))
+	show(embed.StarInto(crs))
+	show(embed.StarInto(is))
+
+	fmt.Println("\n— transposition networks (Theorems 6–7) —")
+	show(embed.TNInto(ms))
+	show(embed.TNInto(crs))
+	show(embed.TNInto(is))
+	show(embed.BubbleSortInto(ms))
+
+	fmt.Println("\n— hypercubes (Corollary 5) —")
+	show(embed.HypercubeIntoStar(5))
+	show(embed.HypercubeIntoTN(5))
+	q2s, err := embed.HypercubeIntoStar(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(embed.IntoNetwork(q2s, ms))
+
+	fmt.Println("\n— meshes (Corollaries 6–7) —")
+	show(embed.FactorialMeshIntoStar(5))
+	show(embed.Mesh2DIntoStar(5, 3))
+	m2s, err := embed.FactorialMeshIntoStar(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(embed.IntoNetwork(m2s, is))
+
+	fmt.Println("\n— complete binary trees (Corollary 4) —")
+	show(embed.TreeIntoHypercube(4))
+	show(embed.TreeIntoStar(5))
+	t2s, err := embed.TreeIntoStar(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(embed.IntoNetwork(t2s, ms))
+}

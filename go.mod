@@ -1,0 +1,3 @@
+module supercayley
+
+go 1.22

@@ -1,0 +1,248 @@
+package bag
+
+import (
+	"math/rand"
+	"testing"
+
+	"supercayley/internal/core"
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+func TestSolvedState(t *testing.T) {
+	s := NewSolvedState(3, 2)
+	if !s.Solved() {
+		t.Fatal("solved state not solved")
+	}
+	if s.L() != 3 || s.N() != 2 || s.K() != 7 {
+		t.Fatalf("layout wrong: l=%d n=%d k=%d", s.L(), s.N(), s.K())
+	}
+	if !s.ToPerm().IsIdentity() {
+		t.Fatalf("solved state perm %v", s.ToPerm())
+	}
+	if s.String() != "[1] |2 3|4 5|6 7|" {
+		t.Fatalf("render %q", s.String())
+	}
+}
+
+func TestColors(t *testing.T) {
+	s := NewSolvedState(3, 2)
+	wants := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 3, 7: 3}
+	for ball, color := range wants {
+		if s.Color(ball) != color {
+			t.Errorf("Color(%d) = %d, want %d", ball, s.Color(ball), color)
+		}
+	}
+}
+
+func TestFromPermToPermRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		l, n := 2+r.Intn(3), 1+r.Intn(3)
+		p := perm.Random(r, l*n+1)
+		s, err := FromPerm(p, l, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.ToPerm().Equal(p) {
+			t.Fatalf("round trip failed: %v -> %v", p, s.ToPerm())
+		}
+	}
+	if _, err := FromPerm(perm.Identity(5), 3, 2); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestOperationalMovesMatchGenerators(t *testing.T) {
+	// The paper's central modelling claim (Section 2): the game's
+	// state transition graph IS the Cayley graph.  Verify every
+	// family's every generator against the operational ball/box moves
+	// on random states.
+	r := rand.New(rand.NewSource(2))
+	nets := []*core.Network{
+		core.MustNew(core.MS, 3, 2),
+		core.MustNew(core.RS, 3, 2),
+		core.MustNew(core.CompleteRS, 4, 2),
+		core.MustNew(core.MR, 3, 2),
+		core.MustNew(core.RR, 3, 2),
+		core.MustNew(core.CompleteRR, 3, 2),
+		core.MustNew(core.MIS, 2, 3),
+		core.MustNew(core.RIS, 3, 2),
+		core.MustNew(core.CompleteRIS, 3, 2),
+	}
+	if is, err := core.NewIS(6); err == nil {
+		nets = append(nets, is)
+	} else {
+		t.Fatal(err)
+	}
+	for _, nw := range nets {
+		for _, g := range nw.Set().Generators() {
+			for trial := 0; trial < 10; trial++ {
+				p := perm.Random(r, nw.K())
+				s, err := FromPerm(p, nw.L(), nw.BoxSize())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.ApplyGenerator(g); err != nil {
+					t.Fatalf("%s move %s: %v", nw.Name(), g.Name(), err)
+				}
+				want := g.Apply(p)
+				if !s.ToPerm().Equal(want) {
+					t.Fatalf("%s move %s on %v: operational %v != algebraic %v",
+						nw.Name(), g.Name(), p, s.ToPerm(), want)
+				}
+			}
+		}
+	}
+}
+
+func TestMoveRangeErrors(t *testing.T) {
+	s := NewSolvedState(2, 2)
+	if err := s.TransposeBall(5); err == nil {
+		t.Error("transpose out of range accepted")
+	}
+	if err := s.InsertBall(1); err == nil {
+		t.Error("insert out of range accepted")
+	}
+	if err := s.SelectBall(9); err == nil {
+		t.Error("select out of range accepted")
+	}
+	if err := s.SwapBoxes(3); err == nil {
+		t.Error("swap out of range accepted")
+	}
+}
+
+func TestRotateBoxesWraps(t *testing.T) {
+	s := NewSolvedState(4, 1)
+	s.RotateBoxes(4)
+	if !s.Solved() {
+		t.Fatal("full rotation should be identity")
+	}
+	s.RotateBoxes(1)
+	forward := s.ToPerm()
+	s.RotateBoxes(-1)
+	if !s.Solved() {
+		t.Fatal("rotate back should restore")
+	}
+	s.RotateBoxes(-3)
+	if !s.ToPerm().Equal(forward) {
+		t.Fatal("rotate -3 should equal rotate +1 for l=4")
+	}
+}
+
+func TestGameSolve(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	nets := []*core.Network{
+		core.MustNew(core.MS, 3, 2),
+		core.MustNew(core.CompleteRS, 3, 2),
+		core.MustNew(core.MIS, 3, 2),
+		core.MustNew(core.RR, 3, 2),
+	}
+	is, err := core.NewIS(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets = append(nets, is)
+	for _, nw := range nets {
+		for trial := 0; trial < 20; trial++ {
+			start := perm.Random(r, nw.K())
+			g, err := NewGame(nw, start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := g.SolveAndApply()
+			if err != nil {
+				t.Fatalf("%s: %v", nw.Name(), err)
+			}
+			if !g.State.Solved() {
+				t.Fatalf("%s: unsolved after %d moves", nw.Name(), len(seq))
+			}
+			// Moves must all be legal (members of the generator set).
+			for _, m := range seq {
+				if nw.Set().IndexOfAction(m) < 0 {
+					t.Fatalf("%s: illegal move %s", nw.Name(), m.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestGameMoveByName(t *testing.T) {
+	nw := core.MustNew(core.MS, 2, 2)
+	g, err := NewGame(nw, perm.Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Move("T2"); err != nil {
+		t.Fatal(err)
+	}
+	if g.State.Solved() {
+		t.Fatal("T2 should unsolve the identity")
+	}
+	if err := g.Move("T2"); err != nil {
+		t.Fatal(err)
+	}
+	if !g.State.Solved() {
+		t.Fatal("T2 twice should restore")
+	}
+	if err := g.Move("nope"); err == nil {
+		t.Error("unknown move accepted")
+	}
+	if len(g.LegalMoves()) != nw.Degree() {
+		t.Fatal("legal moves != degree")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewSolvedState(2, 2)
+	c := s.Clone()
+	if err := c.SwapBoxes(2); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Solved() {
+		t.Fatal("clone aliased original")
+	}
+}
+
+func TestStateGraphEqualsCayleyGraph(t *testing.T) {
+	// Exhaustive equivalence on a small instance: BFS over operational
+	// game states reaches exactly the k! permutations, with the same
+	// adjacency as the Cayley graph.
+	nw := core.MustNew(core.MS, 2, 2)
+	visited := map[string]bool{}
+	start := NewSolvedState(2, 2)
+	queue := []*State{start}
+	visited[start.ToPerm().String()] = true
+	edges := 0
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, g := range nw.Set().Generators() {
+			next := s.Clone()
+			if err := next.ApplyGenerator(g); err != nil {
+				t.Fatal(err)
+			}
+			edges++
+			key := next.ToPerm().String()
+			if !visited[key] {
+				visited[key] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	if int64(len(visited)) != nw.N() {
+		t.Fatalf("game reaches %d states, Cayley graph has %d nodes", len(visited), nw.N())
+	}
+	if int64(edges) != nw.N()*int64(nw.Degree()) {
+		t.Fatalf("game explored %d arcs, want %d", edges, nw.N()*int64(nw.Degree()))
+	}
+}
+
+func TestApplyGeneratorRejectsGeneralTransposition(t *testing.T) {
+	s := NewSolvedState(2, 2)
+	// T₃,₅ is a transposition-network generator, not a game move.
+	g := gens.TranspositionIJ(5, 3, 5)
+	if err := s.ApplyGenerator(g); err == nil {
+		t.Error("general transposition accepted as a game move")
+	}
+}

@@ -1,0 +1,45 @@
+package bag_test
+
+import (
+	"fmt"
+	"strings"
+
+	"supercayley/internal/bag"
+	"supercayley/internal/core"
+	"supercayley/internal/perm"
+)
+
+// Play the ball-arrangement game: the moves that solve it are a route
+// in the super Cayley graph.
+func ExampleGame_SolveAndApply() {
+	nw := core.MustNew(core.MS, 2, 2)
+	game, err := bag.NewGame(nw, perm.MustNew(3, 2, 1, 4, 5))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scrambled:", game.State)
+	moves, err := game.SolveAndApply()
+	if err != nil {
+		panic(err)
+	}
+	names := make([]string, len(moves))
+	for i, m := range moves {
+		names[i] = m.Name()
+	}
+	fmt.Println(strings.Join(names, " "))
+	fmt.Println("solved:   ", game.State)
+	// Output:
+	// scrambled: [3] |2 1|4 5|
+	// T3
+	// solved:    [1] |2 3|4 5|
+}
+
+// A state renders as the outside ball plus the boxes.
+func ExampleState_String() {
+	s, err := bag.FromPerm(perm.MustNew(7, 2, 3, 4, 5, 6, 1), 3, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s)
+	// Output: [7] |2 3|4 5|6 1|
+}

@@ -1,0 +1,117 @@
+package comm
+
+import (
+	"fmt"
+
+	"supercayley/internal/sim"
+)
+
+// BroadcastResult reports a simulated single-node broadcast.
+type BroadcastResult struct {
+	Net        string
+	Model      sim.Model
+	Rounds     int
+	LowerBound int // eccentricity of the source
+}
+
+// String renders the result on one line.
+func (r BroadcastResult) String() string {
+	return fmt.Sprintf("SNB on %-18s %-16s rounds=%-5d LB=%d", r.Net, r.Model, r.Rounds, r.LowerBound)
+}
+
+// Broadcast simulates the single-node broadcast from src: every node
+// that holds the packet forwards it on its usable links each round,
+// until all N nodes hold it.  Under the all-port model this completes
+// in exactly the eccentricity of src; under SDC and single-port it
+// pays the model's serialization.
+func Broadcast(nt *sim.Net, model sim.Model, src int) (BroadcastResult, error) {
+	n, d := nt.N(), nt.Ports()
+	if src < 0 || src >= n {
+		return BroadcastResult{}, fmt.Errorf("comm: broadcast source %d out of range", src)
+	}
+	have := make([]bool, n)
+	have[src] = true
+	count := 1
+	res := BroadcastResult{Net: nt.Name(), Model: model}
+
+	// Eccentricity lower bound via BFS over ports.
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for p := 0; p < d; p++ {
+			w := nt.Neighbor(v, p)
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				if dist[w] > res.LowerBound {
+					res.LowerBound = dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	for _, dd := range dist {
+		if dd < 0 {
+			return res, fmt.Errorf("comm: %s is not strongly connected from %d", nt.Name(), src)
+		}
+	}
+
+	var newly []int
+	maxRounds := 4 * n
+	for round := 1; count < n; round++ {
+		if round > maxRounds {
+			return res, fmt.Errorf("comm: broadcast stalled after %d rounds", maxRounds)
+		}
+		newly = newly[:0]
+		switch model {
+		case sim.AllPort:
+			for v := 0; v < n; v++ {
+				if !have[v] {
+					continue
+				}
+				for p := 0; p < d; p++ {
+					if w := nt.Neighbor(v, p); !have[w] {
+						newly = append(newly, w)
+					}
+				}
+			}
+		case sim.SinglePort:
+			for v := 0; v < n; v++ {
+				if !have[v] {
+					continue
+				}
+				for off := 0; off < d; off++ {
+					if w := nt.Neighbor(v, (v+round+off)%d); !have[w] {
+						newly = append(newly, w)
+						break
+					}
+				}
+			}
+		case sim.SDC:
+			p := (round - 1) % d
+			for v := 0; v < n; v++ {
+				if !have[v] {
+					continue
+				}
+				if w := nt.Neighbor(v, p); !have[w] {
+					newly = append(newly, w)
+				}
+			}
+		default:
+			return res, fmt.Errorf("comm: unknown model %v", model)
+		}
+		for _, w := range newly {
+			if !have[w] {
+				have[w] = true
+				count++
+			}
+		}
+		res.Rounds = round
+	}
+	return res, nil
+}

@@ -1,0 +1,91 @@
+package comm
+
+import (
+	"testing"
+
+	"supercayley/internal/core"
+	"supercayley/internal/sim"
+)
+
+func TestBroadcastAllPortMeetsEccentricity(t *testing.T) {
+	// Under the all-port model, flooding completes in exactly the
+	// source eccentricity rounds.
+	nt, err := StarNet(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Broadcast(nt, sim.AllPort, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != res.LowerBound {
+		t.Fatalf("all-port broadcast %d rounds, eccentricity %d", res.Rounds, res.LowerBound)
+	}
+	if res.LowerBound != 6 { // 5-star diameter ⌊3(k−1)/2⌋ = 6
+		t.Fatalf("eccentricity %d, want 6", res.LowerBound)
+	}
+}
+
+func TestBroadcastModelsOnSCG(t *testing.T) {
+	for _, nw := range []*core.Network{
+		core.MustNew(core.MS, 2, 2),
+		core.MustNew(core.RR, 2, 2), // directed: must still flood
+		mustIS(t, 5),
+	} {
+		nt, err := SCGNet(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range []sim.Model{sim.AllPort, sim.SinglePort, sim.SDC} {
+			res, err := Broadcast(nt, model, 3)
+			if err != nil {
+				t.Fatalf("%s %v: %v", nw.Name(), model, err)
+			}
+			if res.Rounds < res.LowerBound {
+				t.Fatalf("%s %v: %d rounds below eccentricity %d", nw.Name(), model, res.Rounds, res.LowerBound)
+			}
+			// SDC/single-port pay at most a degree factor.
+			if res.Rounds > (nw.Degree()+1)*res.LowerBound+nw.Degree() {
+				t.Errorf("%s %v: %d rounds ≫ bound %d", nw.Name(), model, res.Rounds, res.LowerBound)
+			}
+		}
+	}
+}
+
+func TestBroadcastRejectsBadSource(t *testing.T) {
+	nt, err := StarNet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Broadcast(nt, sim.AllPort, -1); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := Broadcast(nt, sim.AllPort, 24); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestTasksOnDirectedNetworks(t *testing.T) {
+	// MNB and TE must work on directed families (MR/RR): no reverse
+	// links for gossip acknowledgements, routes use forward
+	// generators only.
+	nw := core.MustNew(core.MR, 2, 2)
+	nt, err := SCGNet(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mnb, err := RunMNB(nt, sim.AllPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mnb.Rounds < mnb.LowerBound {
+		t.Fatalf("directed MNB below bound: %+v", mnb)
+	}
+	te, err := RunTE(nt, SCGRoute(nw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te.Rounds < te.LowerBound {
+		t.Fatalf("directed TE below bound: %+v", te)
+	}
+}

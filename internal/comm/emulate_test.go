@@ -1,0 +1,78 @@
+package comm
+
+import (
+	"testing"
+
+	"supercayley/internal/core"
+	"supercayley/internal/schedule"
+)
+
+func TestReplaySDCStepAllFamilies(t *testing.T) {
+	// Theorems 1–3 executed on the simulator: every dimension of every
+	// small family instance delivers correctly under the SDC model.
+	nets := []*core.Network{
+		core.MustNew(core.MS, 2, 2),
+		core.MustNew(core.RS, 3, 2),
+		core.MustNew(core.CompleteRS, 2, 2),
+		core.MustNew(core.MR, 2, 2),
+		core.MustNew(core.RR, 2, 2),
+		core.MustNew(core.CompleteRR, 3, 2),
+		core.MustNew(core.MIS, 2, 2),
+		core.MustNew(core.RIS, 2, 2),
+		core.MustNew(core.CompleteRIS, 2, 2),
+		mustIS(t, 5),
+	}
+	for _, nw := range nets {
+		for j := 2; j <= nw.K(); j++ {
+			rounds, err := ReplaySDCStep(nw, j)
+			if err != nil {
+				t.Fatalf("%s dim %d: %v", nw.Name(), j, err)
+			}
+			if want := len(nw.EmulateStarDim(j)); rounds != want {
+				t.Fatalf("%s dim %d: %d rounds, want %d", nw.Name(), j, rounds, want)
+			}
+			if rounds > nw.MaxDilation() {
+				t.Fatalf("%s dim %d: %d rounds exceeds dilation %d", nw.Name(), j, rounds, nw.MaxDilation())
+			}
+		}
+	}
+}
+
+func TestReplayAllPortStep(t *testing.T) {
+	// Theorems 4–5 executed on the simulator: a full all-port star
+	// step delivers all k−1 packets per node within the schedule
+	// makespan, conflict-free.
+	for _, nw := range []*core.Network{
+		core.MustNew(core.MS, 2, 2),
+		core.MustNew(core.CompleteRS, 2, 2),
+		core.MustNew(core.MIS, 2, 2),
+		mustIS(t, 5),
+	} {
+		slow, err := ReplayAllPortStep(nw)
+		if err != nil {
+			t.Fatalf("%s: %v", nw.Name(), err)
+		}
+		s, err := schedule.Build(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow != s.Makespan {
+			t.Fatalf("%s: replay %d rounds, schedule %d", nw.Name(), slow, s.Makespan)
+		}
+	}
+}
+
+func TestReplayAllPortStepBiggerInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=7 replay skipped in -short")
+	}
+	// MS(3,2): k=7, 5040 nodes — the full Theorem 4 pipeline at the
+	// largest size the simulator enumerates comfortably.
+	slow, err := ReplayAllPortStep(core.MustNew(core.MS, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow != 4 { // max(2n, l+1) = max(4, 4)
+		t.Fatalf("MS(3,2): slowdown %d, want 4", slow)
+	}
+}

@@ -1,0 +1,69 @@
+package comm
+
+import (
+	"fmt"
+
+	"supercayley/internal/graph"
+	"supercayley/internal/sim"
+)
+
+// HamiltonianWordOf finds a Hamiltonian generator word for the
+// network (see graph.HamiltonianWord), as port indices.
+func HamiltonianWordOf(nt *sim.Net, budget int) ([]int, error) {
+	cg, err := graph.NewCayley(nt.Name(), nt.Set(), int64(sim.MaxSimNodes))
+	if err != nil {
+		return nil, err
+	}
+	word, ok := graph.HamiltonianWord(cg, budget)
+	if !ok {
+		return nil, fmt.Errorf("comm: no Hamiltonian word found for %s", nt.Name())
+	}
+	return word, nil
+}
+
+// OptimalSDCMNB runs the multinode broadcast as a daisy chain along a
+// Hamiltonian generator word, under the single-dimension model: at
+// round t every node forwards the packet it acquired at round t−1
+// through port word[t].  Since the word's partial products enumerate
+// all N−1 non-identity group elements, every node receives a packet
+// from a new origin each round and the broadcast completes in exactly
+// N−1 rounds — the Mišić–Jovanović optimum (k!−1 for the k-star) that
+// Section 3 of the paper emulates on super Cayley graphs.
+func OptimalSDCMNB(nt *sim.Net, word []int) (rounds int, err error) {
+	n := nt.N()
+	if len(word) != n-1 {
+		return 0, fmt.Errorf("comm: word has %d letters, want N-1 = %d", len(word), n-1)
+	}
+	// received[v] counts distinct origins at v; chain[v] is the origin
+	// of the packet v acquired last round.
+	chain := make([]int32, n)
+	next := make([]int32, n)
+	seen := make([][]bool, n)
+	for v := range chain {
+		chain[v] = int32(v)
+		seen[v] = make([]bool, n)
+		seen[v][v] = true
+	}
+	count := n // total (node, origin) pairs delivered, target n*n
+	for t, port := range word {
+		if port < 0 || port >= nt.Ports() {
+			return 0, fmt.Errorf("comm: word letter %d is not a port", port)
+		}
+		for v := 0; v < n; v++ {
+			next[nt.Neighbor(v, port)] = chain[v]
+		}
+		for v := 0; v < n; v++ {
+			origin := int(next[v])
+			if seen[v][origin] {
+				return 0, fmt.Errorf("comm: round %d: node %d received duplicate origin %d — word is not Hamiltonian", t+1, v, origin)
+			}
+			seen[v][origin] = true
+			count++
+		}
+		copy(chain, next)
+	}
+	if count != n*n {
+		return 0, fmt.Errorf("comm: only %d of %d packets delivered", count, n*n)
+	}
+	return len(word), nil
+}

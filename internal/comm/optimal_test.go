@@ -1,0 +1,73 @@
+package comm
+
+import (
+	"testing"
+
+	"supercayley/internal/core"
+)
+
+func TestOptimalSDCMNBStar(t *testing.T) {
+	// The Mišić–Jovanović optimum: MNB under SDC completes in exactly
+	// k!−1 rounds on the k-star.
+	for _, k := range []int{4, 5} {
+		nt, err := StarNet(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		word, err := HamiltonianWordOf(nt, 0)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		rounds, err := OptimalSDCMNB(nt, word)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if rounds != nt.N()-1 {
+			t.Fatalf("k=%d: %d rounds, want N-1 = %d", k, rounds, nt.N()-1)
+		}
+	}
+}
+
+func TestOptimalSDCMNBSuperCayley(t *testing.T) {
+	// The same daisy chain is optimal on super Cayley graphs whenever
+	// a Hamiltonian word exists — verified for one instance of each
+	// undirected nucleus/super combination at k = 5.
+	for _, nw := range []*core.Network{
+		core.MustNew(core.MS, 2, 2),
+		core.MustNew(core.CompleteRS, 2, 2),
+		core.MustNew(core.MIS, 2, 2),
+		mustIS(t, 5),
+	} {
+		nt, err := SCGNet(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		word, err := HamiltonianWordOf(nt, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", nw.Name(), err)
+		}
+		rounds, err := OptimalSDCMNB(nt, word)
+		if err != nil {
+			t.Fatalf("%s: %v", nw.Name(), err)
+		}
+		if rounds != nt.N()-1 {
+			t.Fatalf("%s: %d rounds, want %d", nw.Name(), rounds, nt.N()-1)
+		}
+	}
+}
+
+func TestOptimalSDCMNBRejectsBadWords(t *testing.T) {
+	nt, err := StarNet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OptimalSDCMNB(nt, []int{0, 1}); err == nil {
+		t.Error("short word accepted")
+	}
+	// A word of the right length that repeats partial products must be
+	// rejected (T2 back and forth revisits the identity).
+	bad := make([]int, nt.N()-1)
+	if _, err := OptimalSDCMNB(nt, bad); err == nil {
+		t.Error("non-Hamiltonian word accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package comm
+
+import (
+	"fmt"
+
+	"supercayley/internal/core"
+	"supercayley/internal/sim"
+)
+
+// PipelinedSDCSlowdown measures the amortized slowdown of emulating
+// one star dimension on nw when every node streams bPerNode packets
+// along that dimension (Section 3's wormhole/heavy-traffic argument:
+// the slowdown approaches 2 for MS/Complete-RS — the two uses of the
+// shared Bᵢ link bound the throughput — and 1 for IS, whose expansion
+// uses two distinct links).
+func PipelinedSDCSlowdown(nw *core.Network, j, bPerNode int) (sim.PipelineResult, error) {
+	nt, err := SCGNet(nw)
+	if err != nil {
+		return sim.PipelineResult{}, err
+	}
+	seq := nw.EmulateStarDim(j)
+	path := make([]int, len(seq))
+	for i, g := range seq {
+		p := nt.PortOf(g)
+		if p < 0 {
+			return sim.PipelineResult{}, fmt.Errorf("comm: %s not a port of %s", g.Name(), nw.Name())
+		}
+		path[i] = p
+	}
+	return sim.Pipeline(nt, path, bPerNode)
+}

@@ -1,0 +1,53 @@
+package comm
+
+import (
+	"testing"
+
+	"supercayley/internal/core"
+)
+
+func TestPipelinedSDCSlowdownMS(t *testing.T) {
+	// Section 3: under heavy per-dimension traffic the MS slowdown is
+	// ≈ 2, not 3 — the S link is used twice per path (first and third
+	// hop), so the pipeline delivers one packet per two rounds.
+	nw := core.MustNew(core.MS, 2, 2)
+	res, err := PipelinedSDCSlowdown(nw, 5, 64) // dimension 5: S2·T3·S2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown < 1.9 || res.Slowdown > 2.2 {
+		t.Fatalf("MS pipelined slowdown %.3f, want ≈ 2", res.Slowdown)
+	}
+}
+
+func TestPipelinedSDCSlowdownIS(t *testing.T) {
+	// Section 3: the IS slowdown is ≈ 1 — the two expansion links
+	// (I_j, then I_{j−1}⁻¹) are distinct, so the pipeline is full rate.
+	nw := mustIS(t, 5)
+	res, err := PipelinedSDCSlowdown(nw, 5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown < 0.99 || res.Slowdown > 1.2 {
+		t.Fatalf("IS pipelined slowdown %.3f, want ≈ 1", res.Slowdown)
+	}
+}
+
+func TestPipelinedSDCNucleusDimensionIsFree(t *testing.T) {
+	// Nucleus dimensions expand to a single link: slowdown exactly 1.
+	nw := core.MustNew(core.MS, 2, 2)
+	res, err := PipelinedSDCSlowdown(nw, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown != 1 {
+		t.Fatalf("nucleus pipelined slowdown %.3f, want 1", res.Slowdown)
+	}
+}
+
+func TestPipelineRejectsBadInput(t *testing.T) {
+	nw := core.MustNew(core.MS, 2, 2)
+	if _, err := PipelinedSDCSlowdown(nw, 5, 0); err == nil {
+		t.Error("zero packets accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+// RouteBatched returns a generator sequence from u to v that plays the
+// ball-arrangement game directly instead of emulating star moves: when
+// a box is brought to the front, every ball of the current sorting
+// chain that belongs to it is placed before the box is moved away, and
+// rotation families move between boxes with relative rotations instead
+// of returning to the rest position each time.  This is the
+// macro-star-style routing of Yeh–Varvarigos (the paper's reference
+// [21]); it produces the same destinations as Route with shorter paths
+// on average (ablation A1 quantifies the gap against BFS-optimal).
+func (nw *Network) RouteBatched(u, v perm.Perm) []gens.Generator {
+	if len(u) != nw.k || len(v) != nw.k {
+		panic(fmt.Sprintf("core: RouteBatched on %s wants %d symbols", nw.Name(), nw.k))
+	}
+	w := v.Inverse().Compose(u)
+	r := &batchRouter{nw: nw, cur: w.Clone(), sup: perm.Identity(nw.k)}
+	r.solve()
+	return r.seq
+}
+
+// batchRouter sorts cur to the identity.  sup is the accumulated
+// position permutation of the super moves applied so far, so the
+// logical ("boxes at rest") state is base = cur ∘ sup⁻¹: a nucleus
+// move applied while box B is at the front acts on base as the
+// absolute transposition into box B.
+type batchRouter struct {
+	nw  *Network
+	cur perm.Perm
+	sup perm.Perm
+	seq []gens.Generator
+
+	// swapped is the box a swap-super family currently holds at the
+	// front (0 = at rest); offset is the net left-rotation of a
+	// rotation-super family's boxes.
+	swapped int
+	offset  int
+}
+
+func (r *batchRouter) apply(gs ...gens.Generator) {
+	for _, g := range gs {
+		r.seq = append(r.seq, g)
+		r.cur = g.Apply(r.cur)
+		if g.Class() == gens.Super {
+			r.sup = r.sup.Compose(g.Pi())
+		}
+	}
+}
+
+// base returns the logical state with boxes at rest.
+func (r *batchRouter) base() perm.Perm { return r.cur.Compose(r.sup.Inverse()) }
+
+// frontBox returns the box whose contents currently occupy the front
+// positions (1 when at rest).
+func (r *batchRouter) frontBox() int {
+	switch r.nw.family.Super() {
+	case SuperSwap:
+		if r.swapped != 0 {
+			return r.swapped
+		}
+		return 1
+	case SuperRotation, SuperCompleteRotation:
+		return r.offset + 1
+	}
+	return 1
+}
+
+// bring makes box B the front box.
+func (r *batchRouter) bring(box int) {
+	if r.frontBox() == box {
+		return
+	}
+	switch r.nw.family.Super() {
+	case SuperSwap:
+		if r.swapped != 0 {
+			r.apply(r.nw.lookup(gens.Swap(r.nw.n, r.nw.l, r.swapped)))
+			r.swapped = 0
+		}
+		if box != 1 {
+			r.apply(r.nw.lookup(gens.Swap(r.nw.n, r.nw.l, box)))
+			r.swapped = box
+		}
+	case SuperRotation, SuperCompleteRotation:
+		delta := box - 1 - r.offset // additional left rotation
+		r.apply(rotationSteps(r.nw, -delta)...)
+		r.offset = ((box-1)%r.nw.l + r.nw.l) % r.nw.l
+	}
+}
+
+// rotationSteps realizes a net rotation by t box positions (positive =
+// right) as generators of the network, using a single rotation for
+// complete families, the shorter direction when R⁻¹ exists, and
+// forward repetitions on directed RR.
+func rotationSteps(nw *Network, t int) []gens.Generator {
+	l := nw.l
+	t = ((t % l) + l) % l
+	if t == 0 {
+		return nil
+	}
+	if nw.family.Super() == SuperCompleteRotation {
+		return []gens.Generator{nw.rotation(t)}
+	}
+	fwd := nw.lookup(gens.Rotation(nw.n, l, 1))
+	invIdx := nw.set.IndexOfAction(gens.Rotation(nw.n, l, l-1))
+	if invIdx >= 0 && l-t < t {
+		return repeatGen(nw.set.At(invIdx), l-t)
+	}
+	return repeatGen(fwd, t)
+}
+
+// boxOf returns the home box of ball x ≥ 2 (1 for single-box
+// networks); offsetOf its slot within that box.
+func (r *batchRouter) boxOf(x int) int    { return (x-2)/r.nw.n + 1 }
+func (r *batchRouter) offsetOf(x int) int { return (x - 2) % r.nw.n }
+
+// place puts the outside ball into front-box slot m (0-based) via the
+// nucleus transposition expansion.
+func (r *batchRouter) place(m int) { r.apply(r.nw.NucleusTransposition(m + 2)...) }
+
+func (r *batchRouter) solve() {
+	nw := r.nw
+	guard := 0
+	limit := 8 * nw.k * (nw.l + 2) // far above any real route length
+	for {
+		guard++
+		if guard > limit {
+			panic(fmt.Sprintf("core: RouteBatched on %s did not converge", nw.Name()))
+		}
+		base := r.base()
+		if base.IsIdentity() {
+			r.bring(1)
+			if r.base().IsIdentity() && r.frontBox() == 1 {
+				return
+			}
+			continue
+		}
+		x := int(base[0])
+		if x != 1 {
+			r.bring(r.boxOf(x))
+			r.place(r.offsetOf(x))
+			continue
+		}
+		// Outside ball is home: grab a misplaced ball, preferring the
+		// box already at the front to save super moves.
+		j := r.pickMisplaced(base)
+		r.bring(r.boxOf(j))
+		r.place(r.offsetOf(j))
+	}
+}
+
+// pickMisplaced returns the home value of a misplaced position,
+// preferring positions in the current front box.
+func (r *batchRouter) pickMisplaced(base perm.Perm) int {
+	front := r.frontBox()
+	n := r.nw.n
+	for m := 0; m < n; m++ {
+		pos := (front-1)*n + 2 + m
+		if int(base[pos-1]) != pos {
+			return pos
+		}
+	}
+	for pos := 2; pos <= r.nw.k; pos++ {
+		if int(base[pos-1]) != pos {
+			return pos
+		}
+	}
+	panic("core: pickMisplaced on sorted state")
+}

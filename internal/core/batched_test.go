@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"supercayley/internal/perm"
+)
+
+func TestRouteBatchedDeliversExhaustive(t *testing.T) {
+	// Every node of every small family routes to the identity.
+	for _, nw := range small(t) {
+		perm.All(nw.K(), func(p perm.Perm) bool {
+			cur := p.Clone()
+			for _, g := range nw.RouteBatched(p, perm.Identity(nw.K())) {
+				if nw.Set().Index(g) < 0 {
+					t.Fatalf("%s: foreign generator %s", nw.Name(), g.Name())
+				}
+				cur = g.Apply(cur)
+			}
+			if !cur.IsIdentity() {
+				t.Fatalf("%s: batched route from %v ended at %v", nw.Name(), p, cur)
+			}
+			return true
+		})
+	}
+}
+
+func TestRouteBatchedDeliversRandomPairs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	nets := []*Network{
+		MustNew(MS, 3, 2),
+		MustNew(CompleteRS, 3, 2),
+		MustNew(RS, 3, 2),
+		MustNew(MIS, 2, 3),
+		MustNew(MR, 3, 2),
+		MustNew(RR, 3, 2),
+		MustNew(CompleteRR, 3, 2),
+		MustNew(RIS, 3, 2),
+		MustNew(CompleteRIS, 3, 2),
+		mustIS(t, 8),
+	}
+	for _, nw := range nets {
+		for trial := 0; trial < 200; trial++ {
+			u, v := perm.Random(r, nw.K()), perm.Random(r, nw.K())
+			cur := u.Clone()
+			for _, g := range nw.RouteBatched(u, v) {
+				cur = g.Apply(cur)
+			}
+			if !cur.Equal(v) {
+				t.Fatalf("%s: batched route %v→%v ended at %v", nw.Name(), u, v, cur)
+			}
+		}
+	}
+}
+
+func TestRouteBatchedNeverLongerOnAverage(t *testing.T) {
+	// The batched router's whole point: shorter average routes than
+	// star emulation, exhaustively at k=5.
+	for _, nw := range small(t) {
+		var sumBatched, sumEmulated int64
+		id := perm.Identity(nw.K())
+		perm.All(nw.K(), func(p perm.Perm) bool {
+			sumBatched += int64(len(nw.RouteBatched(p, id)))
+			sumEmulated += int64(len(nw.Route(p, id)))
+			return true
+		})
+		if sumBatched > sumEmulated {
+			t.Errorf("%s: batched total %d > emulated total %d", nw.Name(), sumBatched, sumEmulated)
+		}
+	}
+}
+
+func BenchmarkRouteBatched(b *testing.B) {
+	nw := MustNew(MS, 4, 3)
+	r := rand.New(rand.NewSource(2))
+	u, v := perm.Random(r, nw.K()), perm.Random(r, nw.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nw.RouteBatched(u, v)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"supercayley/internal/perm"
+)
+
+func benchNetworks(b *testing.B) []*Network {
+	b.Helper()
+	is, err := NewIS(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []*Network{
+		MustNew(MS, 4, 3),
+		MustNew(CompleteRS, 4, 3),
+		MustNew(MIS, 4, 3),
+		is,
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	for _, nw := range benchNetworks(b) {
+		nw := nw
+		b.Run(nw.Name(), func(b *testing.B) {
+			u, v := perm.Random(r, nw.K()), perm.Random(r, nw.K())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = nw.Route(u, v)
+			}
+		})
+	}
+}
+
+func BenchmarkEmulateStarDim(b *testing.B) {
+	nw := MustNew(MS, 4, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 2; j <= nw.K(); j++ {
+			_ = nw.EmulateStarDim(j)
+		}
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	nw := MustNew(MS, 4, 3)
+	r := rand.New(rand.NewSource(2))
+	p := perm.Random(r, nw.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nw.Neighbors(p)
+	}
+}
+
+func BenchmarkConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, f := range Families {
+			if f == IS {
+				if _, err := NewIS(13); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			if _, err := New(f, 4, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+
+	"supercayley/internal/core"
+	"supercayley/internal/perm"
+)
+
+// Build a macro-star network and inspect its parameters.
+func ExampleNew() {
+	nw, err := core.New(core.MS, 4, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(nw.Name(), "k =", nw.K(), "degree =", nw.Degree())
+	// Output: MS(4,3) k = 13 degree = 6
+}
+
+// The insertion-selection network is the single-box special case.
+func ExampleNewIS() {
+	nw, err := core.NewIS(5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(nw.Name(), "degree =", nw.Degree(), "generators:", strings.Join(nw.Set().Names(), " "))
+	// Output: IS(5) degree = 8 generators: I2 I3 I4 I5 I2' I3' I4' I5'
+}
+
+// Theorem 1: a star dimension expands into a constant-length
+// generator sequence on the macro-star network.
+func ExampleNetwork_EmulateStarDim() {
+	nw := core.MustNew(core.MS, 2, 2)
+	for j := 2; j <= nw.K(); j++ {
+		var names []string
+		for _, g := range nw.EmulateStarDim(j) {
+			names = append(names, g.Name())
+		}
+		fmt.Printf("T%d = %s\n", j, strings.Join(names, "·"))
+	}
+	// Output:
+	// T2 = T2
+	// T3 = T3
+	// T4 = S2·T2·S2
+	// T5 = S2·T3·S2
+}
+
+// Route a packet between two permutation-labelled nodes.
+func ExampleNetwork_Route() {
+	nw := core.MustNew(core.MS, 2, 2)
+	u := perm.MustNew(2, 1, 3, 4, 5)
+	v := perm.Identity(5)
+	for _, g := range nw.Route(u, v) {
+		fmt.Println(g.Name())
+	}
+	// Output: T2
+}
+
+func ExampleParseFamily() {
+	f, _ := core.ParseFamily("complete-ris")
+	fmt.Println(f)
+	// Output: Complete-RIS
+}

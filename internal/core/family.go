@@ -1,0 +1,240 @@
+// Package core implements the paper's primary contribution: the ten
+// super Cayley graph families of Yeh, Varvarigos and Lee (PaCT-99).
+//
+// A super Cayley graph is a Cayley graph on the permutations of
+// k = nl+1 symbols whose generator set splits into nucleus generators
+// (permuting the leftmost n+1 symbols — the outside ball plus the
+// leftmost box of the ball-arrangement game) and super generators
+// (permuting whole super-symbols — the boxes).  The ten families
+// differ in which nucleus moves (transposition vs insertion/selection)
+// and which super moves (swap vs rotation vs all rotations) they use.
+//
+// The package provides constructors for every family, the dimension
+// arithmetic j ↦ (j₀, j₁) used throughout the paper, the Bᵢ / Bᵢ⁻¹
+// "bring box i to the front" abstraction, the star-dimension expansion
+// sequences behind Theorems 1–5, and unicast routing built on star
+// graph emulation.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"supercayley/internal/gens"
+)
+
+// Family enumerates the ten super Cayley graph classes of the paper.
+type Family int
+
+const (
+	// MS is the macro-star network MS(l,n): transposition nucleus,
+	// swap super generators.
+	MS Family = iota
+	// RS is the rotation-star network RS(l,n): transposition nucleus,
+	// single rotation (and its inverse) as super generators.
+	RS
+	// CompleteRS is the complete-rotation-star network: transposition
+	// nucleus, all l−1 non-trivial rotations.
+	CompleteRS
+	// MR is the macro-rotator network: insertion nucleus, swap super
+	// generators.  Directed.
+	MR
+	// RR is the rotation-rotator network: insertion nucleus, single
+	// rotation.  Directed.
+	RR
+	// CompleteRR is the complete-rotation-rotator network: insertion
+	// nucleus, all rotations.  Directed.
+	CompleteRR
+	// IS is the insertion-selection network on one box: insertion and
+	// selection generators of every dimension 2..k.
+	IS
+	// MIS is the macro-insertion-selection network MIS(l,n):
+	// insertion/selection nucleus, swap super generators.
+	MIS
+	// RIS is the rotation-insertion-selection network: insertion/
+	// selection nucleus, single rotation (and inverse).
+	RIS
+	// CompleteRIS is the complete-rotation-insertion-selection
+	// network: insertion/selection nucleus, all rotations.
+	CompleteRIS
+)
+
+// Families lists all ten families in the paper's order of
+// presentation.
+var Families = []Family{MS, RS, CompleteRS, MR, RR, CompleteRR, IS, MIS, RIS, CompleteRIS}
+
+// String returns the paper's name for the family.
+func (f Family) String() string {
+	switch f {
+	case MS:
+		return "MS"
+	case RS:
+		return "RS"
+	case CompleteRS:
+		return "Complete-RS"
+	case MR:
+		return "MR"
+	case RR:
+		return "RR"
+	case CompleteRR:
+		return "Complete-RR"
+	case IS:
+		return "IS"
+	case MIS:
+		return "MIS"
+	case RIS:
+		return "RIS"
+	case CompleteRIS:
+		return "Complete-RIS"
+	}
+	return fmt.Sprintf("Family(%d)", int(f))
+}
+
+// ParseFamily reads a family name, case-insensitively, accepting both
+// "Complete-RS" and "CRS" style abbreviations.
+func ParseFamily(s string) (Family, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "ms", "macro-star":
+		return MS, nil
+	case "rs", "rotation-star":
+		return RS, nil
+	case "complete-rs", "crs", "complete-rotation-star":
+		return CompleteRS, nil
+	case "mr", "macro-rotator":
+		return MR, nil
+	case "rr", "rotation-rotator":
+		return RR, nil
+	case "complete-rr", "crr", "complete-rotation-rotator":
+		return CompleteRR, nil
+	case "is", "insertion-selection":
+		return IS, nil
+	case "mis", "macro-is", "macro-insertion-selection":
+		return MIS, nil
+	case "ris", "rotation-is", "rotation-insertion-selection":
+		return RIS, nil
+	case "complete-ris", "cris", "complete-rotation-is", "complete-rotation-insertion-selection":
+		return CompleteRIS, nil
+	}
+	return 0, fmt.Errorf("core: unknown family %q", s)
+}
+
+// NucleusStyle describes how a family moves balls within the leftmost
+// box.
+type NucleusStyle int
+
+const (
+	// NucleusTransposition: T₂..T₍ₙ₊₁₎ (MS, RS, Complete-RS).
+	NucleusTransposition NucleusStyle = iota
+	// NucleusInsertion: I₂..I₍ₙ₊₁₎ only — no selections (MR, RR,
+	// Complete-RR; the rotator-style nucleus).
+	NucleusInsertion
+	// NucleusInsertionSelection: both Iᵢ and Iᵢ⁻¹ (IS, MIS, RIS,
+	// Complete-RIS).
+	NucleusInsertionSelection
+)
+
+// SuperStyle describes how a family moves boxes.
+type SuperStyle int
+
+const (
+	// SuperSwap: Sₙ,₂..Sₙ,ₗ (MS, MR, MIS).
+	SuperSwap SuperStyle = iota
+	// SuperRotation: the single rotation R — plus R⁻¹ when the
+	// nucleus is undirected (RS, RIS); bare R for RR.
+	SuperRotation
+	// SuperCompleteRotation: all rotations R¹..R^(l−1) (Complete-RS,
+	// Complete-RR, Complete-RIS).
+	SuperCompleteRotation
+	// SuperNone: the single-box IS network has no super generators.
+	SuperNone
+)
+
+// Nucleus returns the family's nucleus style.
+func (f Family) Nucleus() NucleusStyle {
+	switch f {
+	case MS, RS, CompleteRS:
+		return NucleusTransposition
+	case MR, RR, CompleteRR:
+		return NucleusInsertion
+	default:
+		return NucleusInsertionSelection
+	}
+}
+
+// Super returns the family's super style.
+func (f Family) Super() SuperStyle {
+	switch f {
+	case MS, MR, MIS:
+		return SuperSwap
+	case RS, RR, RIS:
+		return SuperRotation
+	case CompleteRS, CompleteRR, CompleteRIS:
+		return SuperCompleteRotation
+	default:
+		return SuperNone
+	}
+}
+
+// Directed reports whether the family's Cayley graph is inherently
+// directed (its generator set is not closed under inversion).
+func (f Family) Directed() bool {
+	switch f {
+	case MR, RR, CompleteRR:
+		return true
+	}
+	return false
+}
+
+// buildSet assembles the generator set for family f with l boxes of n
+// balls (k = nl+1 symbols).  For IS, l must be 1 and n = k−1.
+func buildSet(f Family, l, n int) (*gens.Set, error) {
+	k := n*l + 1
+	var gs []gens.Generator
+
+	// Nucleus generators.
+	switch f.Nucleus() {
+	case NucleusTransposition:
+		for i := 2; i <= n+1; i++ {
+			gs = append(gs, gens.Transposition(k, i))
+		}
+	case NucleusInsertion:
+		for i := 2; i <= n+1; i++ {
+			gs = append(gs, gens.Insertion(k, i))
+		}
+	case NucleusInsertionSelection:
+		for i := 2; i <= n+1; i++ {
+			gs = append(gs, gens.Insertion(k, i))
+		}
+		// I₂⁻¹ has the same action as I₂ (both swap the first two
+		// symbols) but the paper treats it as a separate link: the
+		// insertion-selection families are multigraphs of degree
+		// 2n + (supers), and the congestion results of Theorems 2
+		// and 5 count the parallel links separately.
+		for i := 2; i <= n+1; i++ {
+			gs = append(gs, gens.Selection(k, i))
+		}
+	}
+
+	// Super generators.
+	switch f.Super() {
+	case SuperSwap:
+		for i := 2; i <= l; i++ {
+			gs = append(gs, gens.Swap(n, l, i))
+		}
+	case SuperRotation:
+		gs = append(gs, gens.Rotation(n, l, 1))
+		if l > 2 && !f.Directed() {
+			gs = append(gs, gens.Rotation(n, l, l-1)) // R⁻¹
+		}
+	case SuperCompleteRotation:
+		for i := 1; i <= l-1; i++ {
+			gs = append(gs, gens.Rotation(n, l, i))
+		}
+	case SuperNone:
+		// IS network: one box.
+	}
+	if f.Nucleus() == NucleusInsertionSelection {
+		return gens.NewSetAllowParallel(gs...)
+	}
+	return gens.NewSet(gs...)
+}

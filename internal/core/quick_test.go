@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+func quickCfg(seed int64) *quick.Config {
+	return &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// randomNetwork draws a random family and parameters with k ≤ 13.
+func randomNetwork(r *rand.Rand) *Network {
+	f := Families[r.Intn(len(Families))]
+	if f == IS {
+		nw, err := NewIS(3 + r.Intn(8))
+		if err != nil {
+			panic(err)
+		}
+		return nw
+	}
+	for {
+		l := 2 + r.Intn(4)
+		n := 1 + r.Intn(4)
+		if n*l+1 <= 13 {
+			return MustNew(f, l, n)
+		}
+	}
+}
+
+func TestQuickEmulateStarDimIsTransposition(t *testing.T) {
+	// Property (Theorems 1–3): for any family, parameters and
+	// dimension, the expansion acts exactly as T_j.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(r)
+		j := 2 + r.Intn(nw.K()-1)
+		p := perm.Random(r, nw.K())
+		cur := p.Clone()
+		for _, g := range nw.EmulateStarDim(j) {
+			cur = g.Apply(cur)
+		}
+		return cur.Equal(gens.Transposition(nw.K(), j).Apply(p))
+	}
+	if err := quick.Check(f, quickCfg(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRouteDelivers(t *testing.T) {
+	// Property: routing always reaches the destination through set
+	// generators, within MaxDilation × star distance hops.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(r)
+		u, v := perm.Random(r, nw.K()), perm.Random(r, nw.K())
+		seq := nw.Route(u, v)
+		if len(seq) > nw.MaxDilation()*nw.Star().Distance(u, v) {
+			return false
+		}
+		cur := u.Clone()
+		for _, g := range seq {
+			if nw.Set().Index(g) < 0 {
+				return false
+			}
+			cur = g.Apply(cur)
+		}
+		return cur.Equal(v)
+	}
+	if err := quick.Check(f, quickCfg(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBringBoxRoundTrip(t *testing.T) {
+	// Property: BringBox followed by ReturnBox is the identity, for
+	// every family with boxes.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(r)
+		if nw.Family() == IS {
+			return true
+		}
+		i := 2 + r.Intn(nw.L()-1)
+		p := perm.Random(r, nw.K())
+		cur := p.Clone()
+		for _, g := range nw.BringBox(i) {
+			cur = g.Apply(cur)
+		}
+		for _, g := range nw.ReturnBox(i) {
+			cur = g.Apply(cur)
+		}
+		return cur.Equal(p)
+	}
+	if err := quick.Check(f, quickCfg(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSplitDimRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(r)
+		j := 2 + r.Intn(nw.K()-1)
+		j0, j1 := nw.SplitDim(j)
+		return nw.JoinDim(j0, j1) == j && j0 >= 0 && j0 < nw.BoxSize() && j1 >= 0 && j1 < nw.L()
+	}
+	if err := quick.Check(f, quickCfg(4)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package embed implements the embedding framework and the concrete
+// constructions of Section 5 of the paper: star graphs, transposition
+// networks, bubble-sort graphs, hypercubes, meshes and complete binary
+// trees into super Cayley graphs, each with measured load, expansion,
+// dilation and congestion (Theorems 6–7, Corollaries 4–7).
+//
+// An embedding maps every guest node to a host node and every guest
+// arc to a host path.  The standard quality measures are
+//
+//   - load:       max guest nodes mapped to one host node
+//   - expansion:  host nodes / guest nodes
+//   - dilation:   max host path length over guest arcs
+//   - congestion: max number of guest-arc paths crossing one host arc
+package embed
+
+import (
+	"fmt"
+
+	"supercayley/internal/gens"
+	"supercayley/internal/graph"
+	"supercayley/internal/perm"
+)
+
+// Embedding maps a guest graph into a host graph.
+type Embedding struct {
+	// Name describes the construction, e.g. "13-star into MS(4,3)".
+	Name string
+	// Guest and Host are the two graphs (integer node IDs).
+	Guest, Host graph.Graph
+	// NodeOf maps a guest node to its host image.
+	NodeOf func(g int) int
+	// PathOf returns the host path (node IDs, inclusive of both
+	// endpoints) realizing the guest arc u→v.  The first node must be
+	// NodeOf(u) and the last NodeOf(v).
+	PathOf func(u, v int) ([]int, error)
+	// SeqOf, when non-nil, describes paths as generator sequences
+	// from the source permutation instead.  Measure then validates by
+	// application and counts congestion per (node, generator) link,
+	// distinguishing parallel links of multigraph hosts — the paper's
+	// IS-family networks treat I₂ and I₂⁻¹ as separate links.
+	SeqOf func(u, v int) (perm.Perm, []gens.Generator, error)
+	// HostSet is the host's generator set; required when SeqOf is set.
+	HostSet *gens.Set
+}
+
+// Metrics holds the measured quality of an embedding.
+type Metrics struct {
+	GuestNodes, HostNodes int
+	GuestArcs             int64
+	Load                  int
+	Expansion             float64
+	Dilation              int
+	Congestion            int
+	// MeanPathLen is the average host path length over guest arcs.
+	MeanPathLen float64
+}
+
+// String renders the metrics on one line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("load=%d expansion=%.3f dilation=%d congestion=%d (guest %d nodes/%d arcs, host %d nodes, mean path %.2f)",
+		m.Load, m.Expansion, m.Dilation, m.Congestion, m.GuestNodes, m.GuestArcs, m.HostNodes, m.MeanPathLen)
+}
+
+// Measure computes the embedding metrics, validating on the way that
+// every path starts and ends at the mapped endpoints and walks along
+// host arcs.  Use MeasureArcs to restrict to a subset of guest arcs
+// (e.g. a single dimension).
+func (e *Embedding) Measure() (Metrics, error) {
+	return e.MeasureArcs(nil)
+}
+
+// MeasureArcs measures only the guest arcs accepted by keep (nil
+// keeps all).  Load and expansion are always global.
+func (e *Embedding) MeasureArcs(keep func(u, v int) bool) (Metrics, error) {
+	gn, hn := e.Guest.Order(), e.Host.Order()
+	m := Metrics{GuestNodes: gn, HostNodes: hn}
+	if gn == 0 {
+		return m, fmt.Errorf("embed: %s: empty guest", e.Name)
+	}
+	m.Expansion = float64(hn) / float64(gn)
+
+	// Load.
+	loads := make(map[int]int, gn)
+	for u := 0; u < gn; u++ {
+		h := e.NodeOf(u)
+		if h < 0 || h >= hn {
+			return m, fmt.Errorf("embed: %s: node %d maps outside host (%d)", e.Name, u, h)
+		}
+		loads[h]++
+		if loads[h] > m.Load {
+			m.Load = loads[h]
+		}
+	}
+
+	if e.SeqOf != nil {
+		if err := e.measureSeqs(&m, keep); err != nil {
+			return m, err
+		}
+		return m, nil
+	}
+
+	// Host adjacency index for path validation.
+	adj := hostAdjacency(e.Host)
+
+	congestion := make(map[[2]int]int)
+	var totalLen int64
+	for u := 0; u < gn; u++ {
+		for _, v := range e.Guest.Neighbors(u) {
+			if keep != nil && !keep(u, v) {
+				continue
+			}
+			path, err := e.PathOf(u, v)
+			if err != nil {
+				return m, fmt.Errorf("embed: %s: arc %d→%d: %w", e.Name, u, v, err)
+			}
+			if len(path) == 0 || path[0] != e.NodeOf(u) || path[len(path)-1] != e.NodeOf(v) {
+				return m, fmt.Errorf("embed: %s: arc %d→%d: path endpoints wrong", e.Name, u, v)
+			}
+			for i := 1; i < len(path); i++ {
+				a, b := path[i-1], path[i]
+				if !adj.has(a, b) {
+					return m, fmt.Errorf("embed: %s: arc %d→%d: hop %d→%d is not a host arc", e.Name, u, v, a, b)
+				}
+				key := [2]int{a, b}
+				congestion[key]++
+				if congestion[key] > m.Congestion {
+					m.Congestion = congestion[key]
+				}
+			}
+			hops := len(path) - 1
+			if hops > m.Dilation {
+				m.Dilation = hops
+			}
+			totalLen += int64(hops)
+			m.GuestArcs++
+		}
+	}
+	if m.GuestArcs > 0 {
+		m.MeanPathLen = float64(totalLen) / float64(m.GuestArcs)
+	}
+	return m, nil
+}
+
+// measureSeqs measures a generator-sequence embedding, keying
+// congestion on (node, generator-index) links.
+func (e *Embedding) measureSeqs(m *Metrics, keep func(u, v int) bool) error {
+	if e.HostSet == nil {
+		return fmt.Errorf("embed: %s: SeqOf requires HostSet", e.Name)
+	}
+	congestion := make(map[[2]int]int)
+	var totalLen int64
+	gn := e.Guest.Order()
+	for u := 0; u < gn; u++ {
+		for _, v := range e.Guest.Neighbors(u) {
+			if keep != nil && !keep(u, v) {
+				continue
+			}
+			start, seq, err := e.SeqOf(u, v)
+			if err != nil {
+				return fmt.Errorf("embed: %s: arc %d→%d: %w", e.Name, u, v, err)
+			}
+			if int(start.Rank()) != e.NodeOf(u) {
+				return fmt.Errorf("embed: %s: arc %d→%d: sequence starts at wrong node", e.Name, u, v)
+			}
+			cur := start
+			for _, g := range seq {
+				idx := e.HostSet.Index(g)
+				if idx < 0 {
+					return fmt.Errorf("embed: %s: arc %d→%d: generator %s not a host link", e.Name, u, v, g.Name())
+				}
+				key := [2]int{int(cur.Rank()), idx}
+				congestion[key]++
+				if congestion[key] > m.Congestion {
+					m.Congestion = congestion[key]
+				}
+				cur = g.Apply(cur)
+			}
+			if int(cur.Rank()) != e.NodeOf(v) {
+				return fmt.Errorf("embed: %s: arc %d→%d: sequence ends at wrong node", e.Name, u, v)
+			}
+			if len(seq) > m.Dilation {
+				m.Dilation = len(seq)
+			}
+			totalLen += int64(len(seq))
+			m.GuestArcs++
+		}
+	}
+	if m.GuestArcs > 0 {
+		m.MeanPathLen = float64(totalLen) / float64(m.GuestArcs)
+	}
+	return nil
+}
+
+// hostAdj is a compact adjacency-set index.
+type hostAdj struct {
+	sets []map[int]struct{}
+}
+
+func hostAdjacency(h graph.Graph) *hostAdj {
+	a := &hostAdj{sets: make([]map[int]struct{}, h.Order())}
+	return a.fill(h)
+}
+
+func (a *hostAdj) fill(h graph.Graph) *hostAdj {
+	for v := range a.sets {
+		nbrs := h.Neighbors(v)
+		set := make(map[int]struct{}, len(nbrs))
+		for _, w := range nbrs {
+			set[w] = struct{}{}
+		}
+		a.sets[v] = set
+	}
+	return a
+}
+
+func (a *hostAdj) has(u, v int) bool {
+	_, ok := a.sets[u][v]
+	return ok
+}
+
+// Compose chains two embeddings G→H and H→K into G→K: node maps
+// compose, and every hop of an e1 path is replaced by the
+// corresponding e2 path.  Dilation multiplies (at most), which is how
+// the paper derives Corollaries 4–7 from Theorems 1–3, 6 and 7.
+func Compose(e1, e2 *Embedding) *Embedding {
+	return &Embedding{
+		Name:  e1.Name + " ∘ " + e2.Name,
+		Guest: e1.Guest,
+		Host:  e2.Host,
+		NodeOf: func(g int) int {
+			return e2.NodeOf(e1.NodeOf(g))
+		},
+		PathOf: func(u, v int) ([]int, error) {
+			mid, err := e1.PathOf(u, v)
+			if err != nil {
+				return nil, err
+			}
+			out := []int{e2.NodeOf(mid[0])}
+			for i := 1; i < len(mid); i++ {
+				seg, err := e2.PathOf(mid[i-1], mid[i])
+				if err != nil {
+					return nil, err
+				}
+				if len(seg) == 0 || seg[0] != out[len(out)-1] {
+					return nil, fmt.Errorf("embed: compose: segment mismatch at hop %d", i)
+				}
+				out = append(out, seg[1:]...)
+			}
+			return out, nil
+		},
+	}
+}

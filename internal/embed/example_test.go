@@ -1,0 +1,63 @@
+package embed_test
+
+import (
+	"fmt"
+
+	"supercayley/internal/core"
+	"supercayley/internal/embed"
+)
+
+// Theorem 1: the 5-star embeds in MS(2,2) with dilation 3.
+func ExampleStarInto() {
+	e, err := embed.StarInto(core.MustNew(core.MS, 2, 2))
+	if err != nil {
+		panic(err)
+	}
+	m, err := e.Measure()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dilation:", m.Dilation, "congestion:", m.Congestion)
+	// Output: dilation: 3 congestion: 4
+}
+
+// Theorem 6: the transposition network embeds with dilation 5 when
+// l = 2.
+func ExampleTNInto() {
+	e, err := embed.TNInto(core.MustNew(core.MS, 2, 2))
+	if err != nil {
+		panic(err)
+	}
+	m, err := e.Measure()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("load:", m.Load, "expansion:", m.Expansion, "dilation:", m.Dilation)
+	// Output: load: 1 expansion: 1 dilation: 5
+}
+
+// Corollary 7: the 2×3×4×5 mesh embeds in the 5-star with load 1,
+// expansion 1 and dilation 3.
+func ExampleFactorialMeshIntoStar() {
+	e, err := embed.FactorialMeshIntoStar(5)
+	if err != nil {
+		panic(err)
+	}
+	m, err := e.Measure()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("load:", m.Load, "dilation:", m.Dilation)
+	// Output: load: 1 dilation: 3
+}
+
+// Corollary 4's citation [5]: the height-5 complete binary tree
+// embeds in the 5-star with dilation 1, found by exact search.
+func ExampleDilation1TreeIntoStar() {
+	_, h, err := embed.Dilation1TreeIntoStar(5, 10_000_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tallest dilation-1 tree height:", h)
+	// Output: tallest dilation-1 tree height: 5
+}

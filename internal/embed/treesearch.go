@@ -1,0 +1,165 @@
+package embed
+
+import (
+	"fmt"
+
+	"supercayley/internal/graph"
+	"supercayley/internal/star"
+	"supercayley/internal/topologies"
+)
+
+// Dilation1TreeSearch looks for a dilation-1 (subgraph) embedding of
+// the complete binary tree of height h into the host graph by
+// backtracking in DFS preorder, trying for each guest node the unused
+// host neighbors of its parent's image (leaves prefer capacity-poor
+// hosts, internal nodes capacity-rich ones, with forward checking).
+// budget caps the number of search steps; 0 means a generous default.
+//
+// Bouabdallah et al. (the paper's citation [5]) prove such embeddings
+// exist in the k-star for height 2k−5 (k = 5, 6) and height
+// (1/2+o(1))·k·log₂k beyond; this searcher recovers both small cases
+// exactly (height 5 in the 5-star, height 7 in the 6-star), backing
+// Corollary 4's dilation constants (experiment A4).
+func Dilation1TreeSearch(h int, host graph.Graph, budget int) (*Embedding, bool, error) {
+	tree, err := topologies.NewCompleteBinaryTree(h)
+	if err != nil {
+		return nil, false, err
+	}
+	if tree.Order() > host.Order() {
+		return nil, false, fmt.Errorf("embed: tree has %d nodes, host only %d", tree.Order(), host.Order())
+	}
+	if budget <= 0 {
+		budget = 20_000_000
+	}
+	adj := graph.Materialize(host)
+
+	// Guest nodes are placed in DFS preorder: a whole subtree is
+	// embedded before its sibling, so conflicts backtrack locally.
+	order := tree.Order()
+	pre := make([]int, 0, order)
+	var walk func(v int)
+	walk = func(v int) {
+		if v >= order {
+			return
+		}
+		pre = append(pre, v)
+		walk(2*v + 1)
+		walk(2*v + 2)
+	}
+	walk(0)
+	img := make([]int, order)
+	used := make([]bool, host.Order())
+	steps := 0
+
+	freeDeg := func(w int) int {
+		free := 0
+		for _, x := range adj.Neighbors(w) {
+			if !used[x] {
+				free++
+			}
+		}
+		return free
+	}
+
+	var place func(idx int) bool
+	place = func(idx int) bool {
+		if idx == order {
+			return true
+		}
+		v := pre[idx]
+		steps++
+		if steps > budget {
+			return false
+		}
+		parent := img[(v-1)/2]
+		isLeaf := 2*v+1 >= order
+		// Candidate host nodes: unused neighbors of the parent's
+		// image, forward-checked (internal tree nodes need two free
+		// onward neighbors) and ordered to conserve capacity: leaves
+		// take dead-endish hosts first, internal nodes take roomy
+		// hosts first.
+		type cand struct{ w, free int }
+		var cands []cand
+		for _, w := range adj.Neighbors(parent) {
+			if used[w] {
+				continue
+			}
+			f := freeDeg(w)
+			if !isLeaf && f < 2 {
+				continue
+			}
+			cands = append(cands, cand{w, f})
+		}
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0; j-- {
+				better := cands[j].free < cands[j-1].free
+				if !isLeaf {
+					better = cands[j].free > cands[j-1].free
+				}
+				if !better {
+					break
+				}
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		for _, c := range cands {
+			used[c.w] = true
+			img[v] = c.w
+			if place(idx + 1) {
+				return true
+			}
+			used[c.w] = false
+		}
+		return false
+	}
+
+	// The root can go anywhere; for vertex-symmetric hosts node 0
+	// suffices.
+	img[0] = 0
+	used[0] = true
+	if !place(1) {
+		if steps > budget {
+			return nil, false, fmt.Errorf("embed: search budget (%d steps) exhausted", budget)
+		}
+		return nil, false, nil
+	}
+
+	e := &Embedding{
+		Name:   fmt.Sprintf("CBT(%d) into %s (dilation 1)", h, graph.NameOf(host)),
+		Guest:  tree,
+		Host:   adj,
+		NodeOf: func(g int) int { return img[g] },
+		PathOf: func(u, v int) ([]int, error) {
+			return []int{img[u], img[v]}, nil
+		},
+	}
+	return e, true, nil
+}
+
+// Dilation1TreeIntoStar searches for the tallest dilation-1 complete
+// binary tree in the k-star within the step budget, returning the
+// embedding for the largest height found (≥ 0) and that height.
+func Dilation1TreeIntoStar(k int, budget int) (*Embedding, int, error) {
+	st, err := star.New(k)
+	if err != nil {
+		return nil, 0, err
+	}
+	cg, err := st.Cayley(maxEnumNodes)
+	if err != nil {
+		return nil, 0, err
+	}
+	host := graph.Materialize(cg)
+	var best *Embedding
+	bestH := -1
+	for h := 1; (1<<(h+1))-1 <= host.Order(); h++ {
+		e, ok, err := Dilation1TreeSearch(h, host, budget)
+		if err != nil || !ok {
+			break
+		}
+		best, bestH = e, h
+	}
+	if best == nil {
+		return nil, -1, fmt.Errorf("embed: no dilation-1 tree found in %d-star", k)
+	}
+	return best, bestH, nil
+}

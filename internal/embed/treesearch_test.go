@@ -1,0 +1,83 @@
+package embed
+
+import (
+	"testing"
+
+	"supercayley/internal/graph"
+	"supercayley/internal/star"
+)
+
+func TestDilation1TreeBouabdallahK5(t *testing.T) {
+	// Citation [5] behind Corollary 4: the complete binary tree of
+	// height 2k−5 = 5 embeds in the 5-star with dilation 1.  The
+	// backtracking search recovers it exactly.
+	e, h, err := Dilation1TreeIntoStar(5, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 5 {
+		t.Fatalf("tallest dilation-1 tree in 5-star has height %d, want 5 (2k-5)", h)
+	}
+	m, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dilation != 1 || m.Load != 1 || m.Congestion != 1 {
+		t.Fatalf("metrics %v, want dilation/load/congestion 1", m)
+	}
+}
+
+func TestDilation1TreeBouabdallahK6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3s search; skipped in -short")
+	}
+	// Height 2k−5 = 7 in the 6-star.
+	e, h, err := Dilation1TreeIntoStar(6, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 7 {
+		t.Fatalf("tallest dilation-1 tree in 6-star has height %d, want 7 (2k-5)", h)
+	}
+	m, err := e.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dilation != 1 {
+		t.Fatalf("dilation %d", m.Dilation)
+	}
+}
+
+func TestDilation1SearchRejectsOversizedTree(t *testing.T) {
+	st, err := star.New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := st.Cayley(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := graph.Materialize(cg)
+	// 2^6-1 = 63 > 24 nodes.
+	if _, _, err := Dilation1TreeSearch(5, host, 0); err == nil {
+		t.Fatal("oversized tree accepted")
+	}
+}
+
+func TestDilation1SearchHonestFailure(t *testing.T) {
+	// A ring cannot host a binary tree of height ≥ 2 with dilation 1
+	// (internal degree 3 > ring degree 2); the search must report
+	// not-found, not error.
+	adj := make([][]int, 64)
+	for v := range adj {
+		adj[v] = []int{(v + 1) % 64, (v + 63) % 64}
+	}
+	ring := graph.NewAdjacency("ring", adj)
+	_, ok, err := Dilation1TreeSearch(2, ring, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ring cannot host a height-2 tree with dilation 1")
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"supercayley/internal/comm"
+
+	"supercayley/internal/core"
+	"supercayley/internal/embed"
+	"supercayley/internal/graph"
+	"supercayley/internal/schedule"
+	"supercayley/internal/sim"
+)
+
+// ablations returns the design-choice experiments of DESIGN.md §5.
+func ablations() []Experiment {
+	return []Experiment{
+		{"A1", "Ablation: star-emulation routing vs BFS-optimal distances", AblationRoutingStretch},
+		{"A2", "Ablation: staggered vs paper vs exhaustive schedulers", AblationSchedulers},
+		{"A3", "Ablation: gossip packet-selection policy", AblationGossipPolicy},
+		{"A4", "Ablation: exact dilation-1 tree search vs chained construction", AblationTreeSearch},
+		{"A5", "Ablation: total exchange under emulation vs batched routing", AblationTERouting},
+		{"A6", "Optimal SDC broadcast: Hamiltonian-word daisy chain (N-1 rounds)", OptimalSDC},
+		{"P4", "Paper-scale instances: k = 13, 16, 19 (Figure 1 sizes)", PaperScale},
+	}
+}
+
+// OptimalSDC demonstrates the exactly-optimal MNB under the
+// single-dimension model: the Mišić–Jovanović k!−1 bound is met by
+// forwarding along a Hamiltonian generator word, on the star and on
+// super Cayley graphs directly.
+func OptimalSDC() (string, error) {
+	var b strings.Builder
+	b.WriteString("paper (Section 3, citing Misic-Jovanovic): SDC MNB completes in exactly k!-1 rounds;\n")
+	b.WriteString("achieved here by daisy-chaining along a Hamiltonian generator word:\n")
+	nets := []struct {
+		name string
+		mk   func() (*sim.Net, error)
+	}{
+		{"5-star", func() (*sim.Net, error) { return simStarNet(5) }},
+		{"MS(2,2)", func() (*sim.Net, error) { return simSCGNet(core.MustNew(core.MS, 2, 2)) }},
+		{"Complete-RS(2,2)", func() (*sim.Net, error) { return simSCGNet(core.MustNew(core.CompleteRS, 2, 2)) }},
+		{"MIS(2,2)", func() (*sim.Net, error) { return simSCGNet(core.MustNew(core.MIS, 2, 2)) }},
+		{"IS(5)", func() (*sim.Net, error) { return simSCGNet(mustIS(5)) }},
+	}
+	for _, n := range nets {
+		nt, err := n.mk()
+		if err != nil {
+			return "", err
+		}
+		word, err := comm.HamiltonianWordOf(nt, 0)
+		if err != nil {
+			return "", err
+		}
+		rounds, err := comm.OptimalSDCMNB(nt, word)
+		if err != nil {
+			return "", err
+		}
+		greedy, err := sim.MNB(nt, sim.SDC)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-18s N-1 = %3d: optimal %3d rounds (greedy gossip: %d)\n",
+			n.name, nt.N()-1, rounds, greedy.Rounds)
+	}
+	return b.String(), nil
+}
+
+// AblationRoutingStretch compares the Theorem 1–3 emulation routes
+// against true shortest paths: the per-family stretch is the constant
+// the unified routing pays for its simplicity.
+func AblationRoutingStretch() (string, error) {
+	var b strings.Builder
+	b.WriteString("routing stretch vs exact BFS distances (all ordered pairs at k=5):\n")
+	b.WriteString("  emulate = Theorem 1-3 star-move expansion (the unified algorithm);\n")
+	b.WriteString("  batched = ball-arrangement routing fixing whole boxes per visit ([21]-style)\n")
+	fmt.Fprintf(&b, "  %-18s %14s %14s %12s %12s\n", "network", "avg emulate", "avg batched", "max emulate", "max batched")
+	for _, f := range core.Families {
+		var nw *core.Network
+		if f == core.IS {
+			nw = mustIS(5)
+		} else {
+			nw = core.MustNew(f, 2, 2)
+		}
+		cg, err := nw.Cayley(45000)
+		if err != nil {
+			return "", err
+		}
+		mat := graph.Materialize(cg)
+		n := mat.Order()
+		maxEm, maxBa := 0.0, 0.0
+		var sumEm, sumBa, sumDist int64
+		for u := 0; u < n; u++ {
+			dist := graph.BFS(mat, u)
+			pu := cg.NodePerm(u)
+			for v := 0; v < n; v++ {
+				if v == u {
+					continue
+				}
+				pv := cg.NodePerm(v)
+				em := len(nw.Route(pu, pv))
+				ba := len(nw.RouteBatched(pu, pv))
+				if em < dist[v] || ba < dist[v] {
+					return "", fmt.Errorf("%s: route shorter than BFS distance", nw.Name())
+				}
+				if s := float64(em) / float64(dist[v]); s > maxEm {
+					maxEm = s
+				}
+				if s := float64(ba) / float64(dist[v]); s > maxBa {
+					maxBa = s
+				}
+				sumEm += int64(em)
+				sumBa += int64(ba)
+				sumDist += int64(dist[v])
+			}
+		}
+		fmt.Fprintf(&b, "  %-18s %14.2f %14.2f %12.2f %12.2f\n",
+			nw.Name(),
+			float64(sumEm)/float64(sumDist), float64(sumBa)/float64(sumDist),
+			maxEm, maxBa)
+	}
+	return b.String(), nil
+}
+
+// AblationSchedulers compares the three all-port schedulers.
+func AblationSchedulers() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-16s %10s %9s %9s %7s\n", "network", "lowerbound", "stagger", "paper", "build")
+	for _, nw := range []*core.Network{
+		core.MustNew(core.MS, 4, 3),
+		core.MustNew(core.MS, 5, 3),
+		core.MustNew(core.MS, 7, 2),
+		core.MustNew(core.CompleteRS, 4, 3),
+		core.MustNew(core.MIS, 3, 2),
+	} {
+		lb := schedule.LowerBound(nw)
+		staggered := schedule.Stagger(nw)
+		stag := "-"
+		if staggered != nil {
+			if err := staggered.Validate(); err != nil {
+				return "", err
+			}
+			stag = fmt.Sprintf("%d", staggered.Makespan)
+		}
+		paper := "-"
+		if ps, err := schedule.Paper(nw); err == nil {
+			if err := ps.Validate(); err != nil {
+				return "", err
+			}
+			paper = fmt.Sprintf("%d", ps.Makespan)
+		}
+		built, err := schedule.Build(nw)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-16s %10d %9s %9s %7d\n", nw.Name(), lb, stag, paper, built.Makespan)
+	}
+	b.WriteString("stagger generalizes the paper's construction to every l and to the IS nuclei;\n")
+	b.WriteString("build falls back to exhaustive search only when stagger exceeds the lower bound\n")
+	return b.String(), nil
+}
+
+// AblationGossipPolicy compares rotating-scan vs lowest-first packet
+// selection in the MNB gossip.
+func AblationGossipPolicy() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-12s %-14s %8s %10s %6s\n", "network", "policy", "rounds", "linkratio", "idle")
+	nets := []struct {
+		name string
+		mk   func() (*sim.Net, error)
+	}{
+		{"5-star", func() (*sim.Net, error) { return simStarNet(5) }},
+		{"MS(2,2)", func() (*sim.Net, error) { return simSCGNet(core.MustNew(core.MS, 2, 2)) }},
+	}
+	for _, n := range nets {
+		for _, pol := range []struct {
+			name string
+			p    sim.MNBPolicy
+		}{{"rotating", sim.RotatingScan}, {"lowest-first", sim.LowestFirst}} {
+			nt, err := n.mk()
+			if err != nil {
+				return "", err
+			}
+			res, err := sim.MNBWithPolicy(nt, sim.AllPort, pol.p)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "  %-12s %-14s %8d %10.2f %6d\n",
+				n.name, pol.name, res.Rounds, res.LinkStats.Ratio(), res.LinkStats.Idle)
+		}
+	}
+	b.WriteString("rotating scan keeps link traffic uniform (paper's balanced-traffic claim)\n")
+	return b.String(), nil
+}
+
+// AblationTreeSearch runs the exact dilation-1 tree search (the
+// existence result of citation [5]) against the chained construction.
+func AblationTreeSearch() (string, error) {
+	var b strings.Builder
+	b.WriteString("citation [5]: tallest dilation-1 complete binary tree in the k-star has height 2k-5 (k=5,6)\n")
+	for _, k := range []int{5, 6} {
+		e, h, err := embed.Dilation1TreeIntoStar(k, 100_000_000)
+		if err != nil {
+			return "", err
+		}
+		m, err := e.Measure()
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  k=%d: found height %d (paper: %d), %v\n", k, h, 2*k-5, m)
+	}
+	t2s, err := embed.TreeIntoStar(5)
+	if err != nil {
+		return "", err
+	}
+	m, err := t2s.Measure()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "  chained construction for comparison: %s: %v\n", t2s.Name, m)
+	return b.String(), nil
+}

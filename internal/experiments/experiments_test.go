@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookup(t *testing.T) {
+	for _, id := range []string{"F1a", "t4", "C7", "P1", "A3", "E1"} {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+}
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range AllWithAblations() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(seen) < 19 {
+		t.Errorf("only %d experiments registered", len(seen))
+	}
+}
+
+// TestFastExperimentsRun executes every experiment that completes in
+// well under a second, checking for non-empty deterministic output.
+// The heavy simulations (C2, C3, A4) are exercised by their own
+// packages and by cmd/experiments.
+func TestFastExperimentsRun(t *testing.T) {
+	fast := []string{"F1a", "F1b", "T1", "T2", "T3", "T4", "T5", "C1", "T6", "T7", "C4", "C5", "C6", "C7", "P1", "P2", "P3", "P4", "E1", "E2", "A2", "A3", "A5", "A6"}
+	for _, id := range fast {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+		out, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if strings.TrimSpace(out) == "" {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestFigure1bReportsCaptionNumbers(t *testing.T) {
+	out, err := Fig1b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"93% average", "5 steps fully used", "6 steps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1b output missing %q", want)
+		}
+	}
+}
+
+func TestTheorem5ReportsFinding(t *testing.T) {
+	out, err := Theorem5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "theorem+1") {
+		t.Error("Theorem5 output should flag the MIS(2,2) off-by-one")
+	}
+}

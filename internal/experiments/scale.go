@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"supercayley/internal/comm"
+	"supercayley/internal/core"
+	"supercayley/internal/graph"
+	"supercayley/internal/perm"
+	"supercayley/internal/schedule"
+	"supercayley/internal/sim"
+)
+
+// PaperScale exercises the paper's own instance sizes — the 13-star on
+// MS(4,3)/Complete-RS(4,3) and the 16-star on MS(5,3) from Figure 1 —
+// where N = 13! ≈ 6.2·10⁹ and 16! ≈ 2.1·10¹³ nodes rule out
+// enumeration but all algorithms (routing, scheduling, expansions)
+// remain exact and fast.  Route lengths are averaged over sampled
+// pairs.
+func PaperScale() (string, error) {
+	var b strings.Builder
+	r := rand.New(rand.NewSource(42))
+	const samples = 2000
+	fmt.Fprintf(&b, "  %-18s %20s %4s %9s %11s %11s %9s\n",
+		"network", "N", "deg", "slowdown", "avg emulate", "avg batched", "DL(d,N)")
+	for _, nw := range []*core.Network{
+		core.MustNew(core.MS, 4, 3),
+		core.MustNew(core.CompleteRS, 4, 3),
+		core.MustNew(core.MS, 5, 3),
+		core.MustNew(core.MIS, 4, 3),
+		core.MustNew(core.MS, 6, 3), // k = 19: beyond the paper
+	} {
+		s, err := schedule.Build(nw)
+		if err != nil {
+			return "", err
+		}
+		if err := s.Validate(); err != nil {
+			return "", err
+		}
+		var sumEm, sumBa int64
+		for i := 0; i < samples; i++ {
+			u, v := perm.Random(r, nw.K()), perm.Random(r, nw.K())
+			sumEm += int64(len(nw.Route(u, v)))
+			sumBa += int64(len(nw.RouteBatched(u, v)))
+		}
+		fmt.Fprintf(&b, "  %-18s %20d %4d %9d %11.2f %11.2f %9d\n",
+			nw.Name(), nw.N(), nw.Degree(), s.Makespan,
+			float64(sumEm)/samples, float64(sumBa)/samples,
+			graph.DiameterLowerBound(nw.Degree(), nw.N()))
+	}
+	b.WriteString("slowdown = all-port star-emulation makespan (Theorems 4-5);\n")
+	b.WriteString("route lengths over 2000 random pairs; batched < emulate throughout\n")
+	return b.String(), nil
+}
+
+// AblationTERouting compares the total exchange under emulation routes
+// vs batched routes: shorter routes mean fewer packet-hops and fewer
+// rounds.
+func AblationTERouting() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-12s %-10s %8s %8s %10s %6s\n", "network", "routing", "rounds", "LB", "totalhops", "idle")
+	for _, nw := range []*core.Network{
+		core.MustNew(core.MS, 2, 2),
+		core.MustNew(core.MIS, 2, 2),
+	} {
+		nt, err := comm.SCGNet(nw)
+		if err != nil {
+			return "", err
+		}
+		batchedRoute := batchedRouteFunc(nw)
+		for _, rt := range []struct {
+			name  string
+			route sim.RouteFunc
+		}{{"emulate", comm.SCGRoute(nw)}, {"batched", batchedRoute}} {
+			rep, err := comm.RunTE(nt, rt.route)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "  %-12s %-10s %8d %8d %10d %6d\n",
+				nw.Name(), rt.name, rep.Rounds, rep.LowerBound, rep.TotalHops, rep.IdleLinks)
+		}
+	}
+	b.WriteString("batched routing cuts total packet-hops and completion rounds\n")
+	return b.String(), nil
+}
+
+func batchedRouteFunc(nw *core.Network) sim.RouteFunc {
+	set := nw.Set()
+	k := nw.K()
+	return func(src, dst int) ([]int, error) {
+		u := perm.Unrank(k, int64(src))
+		v := perm.Unrank(k, int64(dst))
+		seq := nw.RouteBatched(u, v)
+		ports := make([]int, len(seq))
+		for i, g := range seq {
+			idx := set.Index(g)
+			if idx < 0 {
+				return nil, fmt.Errorf("experiments: %s not a port of %s", g.Name(), nw.Name())
+			}
+			ports[i] = idx
+		}
+		return ports, nil
+	}
+}

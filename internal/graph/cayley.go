@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"fmt"
+
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+// Cayley adapts a generator set to the Graph interface, addressing the
+// k! nodes by Lehmer rank.  Neighbor queries unrank, apply each
+// generator, and rerank; Materialize it for repeated analytics.
+type Cayley struct {
+	name string
+	set  *gens.Set
+	k    int
+	n    int64
+	buf  []int
+	pbuf perm.Perm
+}
+
+// NewCayley wraps a generator set.  It refuses graphs with more than
+// maxNodes nodes (0 = no limit) so that accidental k=12 exhaustive
+// analytics fail fast instead of thrashing.
+func NewCayley(name string, set *gens.Set, maxNodes int64) (*Cayley, error) {
+	k := set.K()
+	n := perm.Factorial(k)
+	if maxNodes > 0 && n > maxNodes {
+		return nil, fmt.Errorf("graph: %s has %d nodes, above limit %d", name, n, maxNodes)
+	}
+	if n > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("graph: %s too large for int node IDs", name)
+	}
+	return &Cayley{
+		name: name,
+		set:  set,
+		k:    k,
+		n:    n,
+		buf:  make([]int, set.Len()),
+		pbuf: make(perm.Perm, k),
+	}, nil
+}
+
+// Name returns the display name.
+func (c *Cayley) Name() string { return c.name }
+
+// Order returns k!.
+func (c *Cayley) Order() int { return int(c.n) }
+
+// K returns the number of symbols.
+func (c *Cayley) K() int { return c.k }
+
+// Set returns the underlying generator set.
+func (c *Cayley) Set() *gens.Set { return c.set }
+
+// Neighbors returns the Lehmer ranks of v's out-neighbors.  The slice
+// is reused across calls.
+func (c *Cayley) Neighbors(v int) []int {
+	p := perm.Unrank(c.k, int64(v))
+	for i := 0; i < c.set.Len(); i++ {
+		c.set.At(i).ApplyInto(c.pbuf, p)
+		c.buf[i] = int(c.pbuf.Rank())
+	}
+	return c.buf
+}
+
+// NodePerm returns the permutation label of node v.
+func (c *Cayley) NodePerm(v int) perm.Perm { return perm.Unrank(c.k, int64(v)) }
+
+// NodeID returns the node ID of permutation p.
+func (c *Cayley) NodeID(p perm.Perm) int { return int(p.Rank()) }

@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"testing"
+
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+// ring returns the undirected n-cycle.
+func ring(n int) *Adjacency {
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		adj[v] = []int{(v + 1) % n, (v + n - 1) % n}
+	}
+	return NewAdjacency("ring", adj)
+}
+
+// path returns the n-node path graph.
+func pathGraph(n int) *Adjacency {
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if v > 0 {
+			adj[v] = append(adj[v], v-1)
+		}
+		if v < n-1 {
+			adj[v] = append(adj[v], v+1)
+		}
+	}
+	return NewAdjacency("path", adj)
+}
+
+func TestBFSOnRing(t *testing.T) {
+	g := ring(8)
+	dist := BFS(g, 0)
+	want := []int{0, 1, 2, 3, 4, 3, 2, 1}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := NewAdjacency("two", [][]int{{}, {}})
+	dist := BFS(g, 0)
+	if dist[1] != -1 {
+		t.Fatal("unreachable node should be -1")
+	}
+	if _, ok := Eccentricity(g, 0); ok {
+		t.Fatal("Eccentricity should report disconnection")
+	}
+	if Diameter(g) != -1 {
+		t.Fatal("Diameter of disconnected graph should be -1")
+	}
+}
+
+func TestDiameterRingAndPath(t *testing.T) {
+	if d := Diameter(ring(9)); d != 4 {
+		t.Fatalf("ring(9) diameter = %d, want 4", d)
+	}
+	if d := Diameter(pathGraph(6)); d != 5 {
+		t.Fatalf("path(6) diameter = %d, want 5", d)
+	}
+}
+
+func TestStatsFrom(t *testing.T) {
+	s := StatsFrom(ring(6), 0)
+	// Distances: 0,1,2,3,2,1 → sum 9, mean 9/5.
+	if !s.Connected || s.Ecc != 3 || s.Reached != 6 || s.DistCounted != 9 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Mean != 9.0/5.0 {
+		t.Fatalf("mean = %f", s.Mean)
+	}
+}
+
+func TestIsRegularAndUndirected(t *testing.T) {
+	if d, ok := IsRegular(ring(5)); !ok || d != 2 {
+		t.Fatalf("ring should be 2-regular: %d %v", d, ok)
+	}
+	if _, ok := IsRegular(pathGraph(4)); ok {
+		t.Fatal("path should not be regular")
+	}
+	if !IsUndirected(ring(5)) {
+		t.Fatal("ring should be undirected")
+	}
+	directed := NewAdjacency("d", [][]int{{1}, {}})
+	if IsUndirected(directed) {
+		t.Fatal("one-arc graph should be directed")
+	}
+}
+
+func TestLooksVertexSymmetric(t *testing.T) {
+	if !LooksVertexSymmetric(ring(10), 10) {
+		t.Fatal("ring should look vertex-symmetric")
+	}
+	if LooksVertexSymmetric(pathGraph(7), 7) {
+		t.Fatal("path should fail profile check")
+	}
+}
+
+func TestDiameterLowerBound(t *testing.T) {
+	// 1 + d + d² … binary tree-like counting.
+	if got := DiameterLowerBound(2, 7); got != 2 {
+		t.Fatalf("DL(2,7) = %d, want 2", got)
+	}
+	if got := DiameterLowerBound(2, 8); got != 3 {
+		t.Fatalf("DL(2,8) = %d, want 3", got)
+	}
+	if got := DiameterLowerBound(1, 5); got != 4 {
+		t.Fatalf("DL(1,5) = %d, want 4", got)
+	}
+	if got := DiameterLowerBound(3, 1); got != 0 {
+		t.Fatalf("DL(3,1) = %d, want 0", got)
+	}
+	// Star graph: diameter ⌊3(k−1)/2⌋ must be ≥ DL(k−1, k!).
+	for k := 3; k <= 10; k++ {
+		lb := DiameterLowerBound(k-1, perm.Factorial(k))
+		if lb > perm.StarDiameter(k) {
+			t.Fatalf("k=%d: DL %d exceeds star diameter %d", k, lb, perm.StarDiameter(k))
+		}
+	}
+}
+
+func TestMeanDistanceLowerBound(t *testing.T) {
+	// On the ring(6), degree 2: bound must hold (actual mean 9/5).
+	lb := MeanDistanceLowerBound(2, 6)
+	if lb <= 0 || lb > 9.0/5.0 {
+		t.Fatalf("mean bound %f violates actual", lb)
+	}
+	if MeanDistanceLowerBound(3, 1) != 0 {
+		t.Fatal("trivial bound should be 0")
+	}
+}
+
+func TestAverageDistanceExact(t *testing.T) {
+	mean, err := AverageDistanceExact(ring(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 9.0/5.0 {
+		t.Fatalf("mean = %f, want 1.8", mean)
+	}
+	if _, err := AverageDistanceExact(NewAdjacency("x", [][]int{{}, {}})); err == nil {
+		t.Fatal("disconnected mean should error")
+	}
+}
+
+func TestCountEdges(t *testing.T) {
+	if m := CountEdges(ring(7)); m != 14 {
+		t.Fatalf("ring(7) arcs = %d, want 14", m)
+	}
+}
+
+func TestMaterializeAndNameOf(t *testing.T) {
+	g := ring(5)
+	m := Materialize(g)
+	if m.Order() != 5 || NameOf(m) != "ring" {
+		t.Fatalf("materialize wrong: %d %q", m.Order(), NameOf(m))
+	}
+	anon := struct{ Graph }{g}
+	_ = anon
+	if NameOf(NewAdjacency("", nil)) != "" {
+		t.Fatal("NameOf should use Name()")
+	}
+}
+
+func TestCayleyAdapter(t *testing.T) {
+	set := gens.MustNewSet(
+		gens.Transposition(4, 2),
+		gens.Transposition(4, 3),
+		gens.Transposition(4, 4),
+	)
+	cg, err := NewCayley("4-star", set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Order() != 24 || cg.K() != 4 {
+		t.Fatalf("order %d k %d", cg.Order(), cg.K())
+	}
+	// Round-trip node IDs.
+	for v := 0; v < 24; v++ {
+		if cg.NodeID(cg.NodePerm(v)) != v {
+			t.Fatalf("node %d round-trip failed", v)
+		}
+	}
+	// 4-star: diameter 4, connected, 3-regular, undirected.
+	mat := Materialize(cg)
+	if d := Diameter(mat); d != 4 {
+		t.Fatalf("4-star diameter = %d, want 4", d)
+	}
+	if d, ok := IsRegular(mat); !ok || d != 3 {
+		t.Fatal("4-star should be 3-regular")
+	}
+	if !IsUndirected(mat) {
+		t.Fatal("4-star should be undirected")
+	}
+	// Limit enforcement.
+	if _, err := NewCayley("too-big", set, 10); err == nil {
+		t.Fatal("limit not enforced")
+	}
+}
+
+func TestDegreeProfileSumsToOrder(t *testing.T) {
+	g := ring(12)
+	p := DegreeProfile(g, 3)
+	total := 0
+	for _, c := range p {
+		total += c
+	}
+	if total != 12 {
+		t.Fatalf("profile sums to %d", total)
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+// HamiltonianWord searches for a Hamiltonian path of a Cayley graph
+// starting at node 0, expressed as a word of generator indices (the
+// "sequence" of the group: the partial products of the word enumerate
+// all nodes).  It backtracks with Warnsdorff's rule — try the move to
+// the node with the fewest onward exits first — plus a stranding
+// prune: at most one unvisited node may lose its last exit (it must
+// then be the path's terminus).  Several deterministic restarts rotate
+// the candidate order, which together find words for every undirected
+// network in this repository at enumerable sizes.
+//
+// A Hamiltonian word turns the multinode broadcast under the
+// single-dimension model into a daisy chain that is exactly optimal
+// (N−1 rounds): at round t every node forwards the packet it acquired
+// at round t−1 along generator word[t], so it receives the packet of a
+// distinct origin every round.  budget caps total search steps
+// (0 = default).
+func HamiltonianWord(c *Cayley, budget int) ([]int, bool) {
+	n := c.Order()
+	if n == 0 {
+		return nil, false
+	}
+	if budget <= 0 {
+		budget = 40_000_000
+	}
+	adj := Materialize(c)
+	deg := len(adj.Neighbors(0))
+	restarts := deg
+	if restarts < 1 {
+		restarts = 1
+	}
+	for r := 0; r < restarts; r++ {
+		if word, ok := hamAttempt(adj, n, deg, r, budget/restarts); ok {
+			return word, true
+		}
+	}
+	return nil, false
+}
+
+func hamAttempt(adj *Adjacency, n, deg, rotate, budget int) ([]int, bool) {
+	visited := make([]bool, n)
+	word := make([]int, 0, n-1)
+	visited[0] = true
+	steps := 0
+	stranded := 0 // unvisited nodes with no unvisited neighbors (≤ 1 allowed)
+
+	// uniqueUnvisited iterates the distinct unvisited neighbors of v
+	// (parallel arcs to the same node count once).
+	uniqueUnvisited := func(v int, fn func(w int)) {
+		nbrs := adj.Neighbors(v)
+		for i, w := range nbrs {
+			if visited[w] {
+				continue
+			}
+			dup := false
+			for _, x := range nbrs[:i] {
+				if x == w {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				fn(w)
+			}
+		}
+	}
+	freeExits := func(v int) int {
+		f := 0
+		uniqueUnvisited(v, func(int) { f++ })
+		return f
+	}
+
+	var extend func(v, placed int) bool
+	extend = func(v, placed int) bool {
+		if placed == n {
+			return true
+		}
+		steps++
+		if steps > budget {
+			return false
+		}
+		type cand struct{ port, w, exits int }
+		cands := make([]cand, 0, deg)
+		nbrs := adj.Neighbors(v)
+	next:
+		for p, w := range nbrs {
+			if visited[w] {
+				continue
+			}
+			for _, c := range cands {
+				if c.w == w {
+					continue next
+				}
+			}
+			cands = append(cands, cand{p, w, freeExits(w)})
+		}
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && cands[j].exits < cands[j-1].exits; j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		if rotate > 0 && len(cands) > 1 {
+			r := rotate % len(cands)
+			cands = append(cands[r:], cands[:r]...)
+		}
+		for _, cd := range cands {
+			visited[cd.w] = true
+			// Visiting w may strand some of w's other unvisited
+			// neighbors; more than one stranded node (or a stranded
+			// node that is not the eventual terminus) is fatal.
+			newlyStranded := 0
+			uniqueUnvisited(cd.w, func(u int) {
+				if freeExits(u) == 0 {
+					newlyStranded++
+				}
+			})
+			if stranded+newlyStranded <= 1 {
+				stranded += newlyStranded
+				word = append(word, cd.port)
+				if extend(cd.w, placed+1) {
+					return true
+				}
+				word = word[:len(word)-1]
+				stranded -= newlyStranded
+			}
+			visited[cd.w] = false
+		}
+		return false
+	}
+
+	if !extend(0, 1) {
+		return nil, false
+	}
+	return append([]int(nil), word...), true
+}

@@ -1,0 +1,76 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkCompose(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	p, q := Random(r, 13), Random(r, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Compose(q)
+	}
+}
+
+func BenchmarkComposeInto(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	p, q := Random(r, 13), Random(r, 13)
+	dst := make(Perm, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ComposeInto(dst, q)
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	p := Random(r, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Inverse()
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	p := Random(r, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Rank()
+	}
+}
+
+func BenchmarkUnrank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Unrank(13, int64(i)%Factorial(13))
+	}
+}
+
+func BenchmarkStarDistance(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	p := Random(r, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.StarDistance()
+	}
+}
+
+func BenchmarkCycles(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	p := Random(r, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Cycles()
+	}
+}
+
+func BenchmarkLehmerDigits(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	p := Random(r, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.LehmerDigits()
+	}
+}

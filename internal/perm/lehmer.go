@@ -1,0 +1,49 @@
+package perm
+
+import "fmt"
+
+// LehmerDigits returns the Lehmer code of p: digits[i] is the number
+// of symbols to the right of position i that are smaller than p[i],
+// so digits[i] ∈ [0, k−1−i] and the digits are the factorial-number-
+// system representation of p.Rank().
+//
+// The Lehmer code underlies the paper's mesh and hypercube embeddings:
+// two permutations whose codes differ in exactly one digit differ by a
+// single transposition of symbols, so any bits→digits assignment maps
+// hypercube edges to transpositions (TN distance 1, star distance ≤3).
+func (p Perm) LehmerDigits() []int {
+	k := len(p)
+	digits := make([]int, k)
+	for i := 0; i < k; i++ {
+		smaller := 0
+		for j := i + 1; j < k; j++ {
+			if p[j] < p[i] {
+				smaller++
+			}
+		}
+		digits[i] = smaller
+	}
+	return digits
+}
+
+// FromLehmerDigits reconstructs the permutation on k symbols from its
+// Lehmer code (inverse of LehmerDigits); digits[k−1] must be 0.
+func FromLehmerDigits(digits []int) (Perm, error) {
+	k := len(digits)
+	if k < 1 || k > MaxK {
+		return nil, fmt.Errorf("perm: Lehmer code length %d out of range", k)
+	}
+	avail := make([]uint8, k)
+	for i := range avail {
+		avail[i] = uint8(i + 1)
+	}
+	p := make(Perm, k)
+	for i, d := range digits {
+		if d < 0 || d >= len(avail) {
+			return nil, fmt.Errorf("perm: Lehmer digit %d = %d out of range [0,%d]", i, d, len(avail)-1)
+		}
+		p[i] = avail[d]
+		avail = append(avail[:d], avail[d+1:]...)
+	}
+	return p, nil
+}

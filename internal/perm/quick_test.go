@@ -1,0 +1,85 @@
+package perm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func quickCfg(seed int64) *quick.Config {
+	return &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(seed))}
+}
+
+func TestQuickRankUnrank(t *testing.T) {
+	// Property: Unrank(k, Rank(p)) == p for random permutations.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(12)
+		p := Random(r, k)
+		return Unrank(k, p.Rank()).Equal(p)
+	}
+	if err := quick.Check(f, quickCfg(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLehmerRoundTrip(t *testing.T) {
+	// Property: FromLehmerDigits(LehmerDigits(p)) == p, and the digits
+	// are in range.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(12)
+		p := Random(r, k)
+		digits := p.LehmerDigits()
+		for i, d := range digits {
+			if d < 0 || d > k-1-i {
+				return false
+			}
+		}
+		q, err := FromLehmerDigits(digits)
+		return err == nil && q.Equal(p)
+	}
+	if err := quick.Check(f, quickCfg(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInverseOfComposition(t *testing.T) {
+	// Property: (p∘q)⁻¹ = q⁻¹∘p⁻¹.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(12)
+		p, q := Random(r, k), Random(r, k)
+		return p.Compose(q).Inverse().Equal(q.Inverse().Compose(p.Inverse()))
+	}
+	if err := quick.Check(f, quickCfg(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStarDistanceTriangle(t *testing.T) {
+	// Property: the star distance satisfies the triangle inequality
+	// d(p, r) ≤ d(p, q) + d(q, r) with d(p, q) = dist of q⁻¹∘p.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(10)
+		a, b, c := Random(r, k), Random(r, k), Random(r, k)
+		d := func(x, y Perm) int { return y.Inverse().Compose(x).StarDistance() }
+		return d(a, c) <= d(a, b)+d(b, c)
+	}
+	if err := quick.Check(f, quickCfg(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromLehmerDigitsErrors(t *testing.T) {
+	if _, err := FromLehmerDigits(nil); err == nil {
+		t.Error("empty digits accepted")
+	}
+	if _, err := FromLehmerDigits([]int{2, 0}); err == nil {
+		t.Error("out-of-range digit accepted")
+	}
+	if _, err := FromLehmerDigits([]int{-1, 0}); err == nil {
+		t.Error("negative digit accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package schedule
+
+import (
+	"testing"
+
+	"supercayley/internal/core"
+)
+
+func BenchmarkStagger(b *testing.B) {
+	for _, nw := range []*core.Network{
+		core.MustNew(core.MS, 4, 3),
+		core.MustNew(core.MS, 5, 3),
+		core.MustNew(core.MIS, 4, 3),
+	} {
+		nw := nw
+		b.Run(nw.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if Stagger(nw) == nil {
+					b.Fatal("stagger returned nil")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPaper(b *testing.B) {
+	nw := core.MustNew(core.MS, 4, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := Paper(nw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildAndValidate(b *testing.B) {
+	nw := core.MustNew(core.CompleteRS, 5, 3)
+	for i := 0; i < b.N; i++ {
+		s, err := Build(nw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveSearchMIS22(b *testing.B) {
+	// The exhaustive proof that MIS(2,2) needs 5 steps.
+	nw := core.MustNew(core.MIS, 2, 2)
+	for i := 0; i < b.N; i++ {
+		if _, err := search(nw, 4, 4); err == nil {
+			b.Fatal("found 4-step schedule")
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"supercayley/internal/core"
+	"supercayley/internal/gens"
+)
+
+// Build computes a conflict-free schedule for one all-port star step
+// on nw, as short as it can prove or construct: it first runs the
+// paper-style staggered constructor (Stagger), then tries to beat it
+// with a bounded exhaustive search starting at the resource lower
+// bound.  For MS and Complete-RS the result meets Theorem 4's
+// max(2n, l+1) exactly; for MIS and Complete-RIS it meets Theorem 5's
+// max(2n, l+2) whenever l+1 ≥ 2n and is one step above it otherwise —
+// the exhaustive search proves (e.g. for MIS(2,2)) that the theorem's
+// stated bound is unachievable in that regime, where the true optimum
+// is 2n+1.
+func Build(nw *core.Network) (*Schedule, error) {
+	lb := LowerBound(nw)
+	staggered := Stagger(nw)
+	if staggered != nil {
+		if err := staggered.Validate(); err != nil {
+			return nil, fmt.Errorf("schedule: staggered construction invalid: %w", err)
+		}
+		if staggered.Makespan == lb {
+			return staggered, nil
+		}
+	}
+	limit := lb + 64
+	if staggered != nil {
+		limit = staggered.Makespan - 1
+	}
+	s, err := search(nw, lb, limit)
+	if err == nil {
+		return s, nil
+	}
+	if staggered != nil {
+		return staggered, nil
+	}
+	return nil, err
+}
+
+// search looks for a conflict-free packing with makespan between lo
+// and hi via depth-first search with a step budget per target.
+func search(nw *core.Network, lo, hi int) (*Schedule, error) {
+	type job struct {
+		dim int
+		seq []gens.Generator
+	}
+	jobs := make([]job, 0, nw.K()-1)
+	for j := 2; j <= nw.K(); j++ {
+		jobs = append(jobs, job{dim: j, seq: nw.EmulateStarDim(j)})
+	}
+	// Schedule the most constrained jobs first: longest sequences,
+	// then higher dimensions (later blocks), which empirically makes
+	// the first DFS descent succeed on every family the paper bounds.
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if len(jobs[a].seq) != len(jobs[b].seq) {
+			return len(jobs[a].seq) > len(jobs[b].seq)
+		}
+		return jobs[a].dim < jobs[b].dim
+	})
+
+	const maxSteps = 2_000_000
+	for target := lo; ; target++ {
+		if target > hi {
+			return nil, fmt.Errorf("schedule: no packing found for %s within makespan %d", nw.Name(), hi)
+		}
+		used := make(map[string]bool) // "gen@t"
+		assigned := make([][]int, len(jobs))
+		steps := 0
+
+		var dfs func(idx int) bool
+		dfs = func(idx int) bool {
+			if idx == len(jobs) {
+				return true
+			}
+			if steps >= maxSteps {
+				return false
+			}
+			j := jobs[idx]
+			times := make([]int, len(j.seq))
+			var place func(pos, from int) bool
+			place = func(pos, from int) bool {
+				if pos == len(j.seq) {
+					return dfs(idx + 1)
+				}
+				remaining := len(j.seq) - 1 - pos
+				for t := from; t <= target-remaining; t++ {
+					steps++
+					if steps >= maxSteps {
+						return false
+					}
+					key := fmt.Sprintf("%s@%d", j.seq[pos].Name(), t)
+					if used[key] {
+						continue
+					}
+					used[key] = true
+					times[pos] = t
+					if place(pos+1, t+1) {
+						return true
+					}
+					delete(used, key)
+				}
+				return false
+			}
+			if !place(0, 1) {
+				return false
+			}
+			assigned[idx] = append([]int(nil), times...)
+			return true
+		}
+
+		if dfs(0) {
+			s := &Schedule{Net: nw, Makespan: target}
+			for i, j := range jobs {
+				for p, t := range assigned[i] {
+					s.Txs = append(s.Txs, Transmission{Dim: j.dim, Time: t, Gen: j.seq[p]})
+				}
+			}
+			sort.Slice(s.Txs, func(a, b int) bool {
+				if s.Txs[a].Time != s.Txs[b].Time {
+					return s.Txs[a].Time < s.Txs[b].Time
+				}
+				return s.Txs[a].Dim < s.Txs[b].Dim
+			})
+			return s, nil
+		}
+	}
+}
+
+// Stagger is the generalized constructive scheduler behind the proofs
+// of Theorems 4 and 5, applicable to every family whose Bᵢ and Bᵢ⁻¹
+// are single generators (MS, Complete-RS, MIS, Complete-RIS, and the
+// single-box IS).  It returns nil for other families.
+//
+// Block ib (0-based; box ib+2) schedules the Bᵢ move of its offset-m
+// dimension at time ((ib+m) mod n) + 1, so each B generator is used
+// exactly once per time 1..n — the diagonal stagger visible in
+// Figure 1.  The nucleus transmissions are then packed greedily in
+// stagger order (each to the earliest free slot of its generator after
+// the B move), and the Bᵢ⁻¹ moves likewise.
+func Stagger(nw *core.Network) *Schedule {
+	n, l := nw.BoxSize(), nw.L()
+	if nw.Family() != core.IS {
+		for i := 2; i <= l; i++ {
+			if len(nw.BringBox(i)) != 1 || len(nw.ReturnBox(i)) != 1 {
+				return nil
+			}
+		}
+	}
+	s := &Schedule{Net: nw}
+	occupied := make(map[string]bool)
+	take := func(g gens.Generator, from int) int {
+		t := from
+		for occupied[fmt.Sprintf("%s@%d", g.Name(), t)] {
+			t++
+		}
+		occupied[fmt.Sprintf("%s@%d", g.Name(), t)] = true
+		return t
+	}
+	add := func(dim int, t int, g gens.Generator) {
+		s.Txs = append(s.Txs, Transmission{Dim: dim, Time: t, Gen: g})
+		if t > s.Makespan {
+			s.Makespan = t
+		}
+	}
+
+	// Nucleus dimensions (the whole graph, for IS): pack greedily from
+	// time 1; the expansions use distinct generators per dimension
+	// step, so these all fit in the first MaxDilation steps.
+	limit := n + 1
+	if nw.Family() == core.IS {
+		limit = nw.K()
+	}
+	for j := 2; j <= limit; j++ {
+		t := 0
+		for _, g := range nw.EmulateStarDim(j) {
+			t = take(g, t+1)
+			add(j, t, g)
+		}
+	}
+	if nw.Family() == core.IS {
+		return s
+	}
+
+	// Block dimensions: B moves on the stagger diagonal.
+	type pending struct {
+		dim  int
+		down int
+		rest []gens.Generator // nucleus expansion
+		up   gens.Generator
+	}
+	var jobs []pending
+	for ib := 0; ib <= l-2; ib++ {
+		box := ib + 2
+		bring, ret := nw.BringBox(box)[0], nw.ReturnBox(box)[0]
+		for m := 0; m < n; m++ {
+			dim := nw.JoinDim(m, ib+1)
+			down := (ib+m)%n + 1
+			occupied[fmt.Sprintf("%s@%d", bring.Name(), down)] = true
+			add(dim, down, bring)
+			jobs = append(jobs, pending{dim: dim, down: down, rest: nw.NucleusTransposition(m + 2), up: ret})
+		}
+	}
+	// Nucleus passes in stagger order (down time, then dimension).
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].down != jobs[b].down {
+			return jobs[a].down < jobs[b].down
+		}
+		return jobs[a].dim < jobs[b].dim
+	})
+	ends := make([]int, len(jobs))
+	for i, j := range jobs {
+		t := j.down
+		for _, g := range j.rest {
+			t = take(g, t+1)
+			add(j.dim, t, g)
+		}
+		ends[i] = t
+	}
+	// Return moves in order of nucleus completion.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if ends[order[a]] != ends[order[b]] {
+			return ends[order[a]] < ends[order[b]]
+		}
+		return jobs[order[a]].dim < jobs[order[b]].dim
+	})
+	for _, i := range order {
+		j := jobs[i]
+		t := take(j.up, ends[i]+1)
+		add(j.dim, t, j.up)
+	}
+	sort.Slice(s.Txs, func(a, b int) bool {
+		if s.Txs[a].Time != s.Txs[b].Time {
+			return s.Txs[a].Time < s.Txs[b].Time
+		}
+		return s.Txs[a].Dim < s.Txs[b].Dim
+	})
+	return s
+}
+
+// Paper builds the explicit Theorem 4 schedule for MS(l,n) or
+// Complete-RS(l,n) in the special case l = rn+1 (n ≥ 2), transcribing
+// the five scheduling rules of the proof verbatim:
+//
+//   - t = 1: nucleus dimensions j = 2..n+1 via T_j;
+//   - t = 1..n: Bᵢ for dimension uᵢ(t) = (i−1)n+2 + ((i+t−3) mod n),
+//     for every block i = 2..l;
+//   - t = sn+2..(s+1)n+1, s = 0..r−1: the nucleus transposition for
+//     dimension vᵢ(t) = (i−1)n+2 + ((i+t−4) mod n), for blocks
+//     i = sn+2..(s+1)n+1;
+//   - t = n+1..2n: Bᵢ⁻¹ for dimension uᵢ(t), for blocks i = 2..n+1;
+//   - t = sn+3..(s+1)n+2, s = 1..r−1: Bᵢ⁻¹ for dimension
+//     uᵢ'(t) = (i−1)n+2 + ((i+t−5) mod n), for blocks i = sn+2..(s+1)n+1.
+func Paper(nw *core.Network) (*Schedule, error) {
+	f := nw.Family()
+	if f != core.MS && f != core.CompleteRS {
+		return nil, fmt.Errorf("schedule: Paper covers MS and Complete-RS, not %s", nw.Name())
+	}
+	n, l := nw.BoxSize(), nw.L()
+	if n < 2 {
+		return nil, fmt.Errorf("schedule: Paper schedule needs n ≥ 2 (got n=%d)", n)
+	}
+	if (l-1)%n != 0 {
+		return nil, fmt.Errorf("schedule: Paper covers l = rn+1; l=%d n=%d is the general case (use Build)", l, n)
+	}
+	r := (l - 1) / n
+
+	s := &Schedule{Net: nw}
+	bring := func(i int) gens.Generator { return nw.BringBox(i)[0] }
+	ret := func(i int) gens.Generator { return nw.ReturnBox(i)[0] }
+	nucleus := func(j0 int) gens.Generator { return nw.NucleusTransposition(j0 + 2)[0] }
+	mod := func(a int) int { return ((a % n) + n) % n }
+
+	// Rule 1: nucleus dimensions at time 1.
+	for j := 2; j <= n+1; j++ {
+		s.Txs = append(s.Txs, Transmission{Dim: j, Time: 1, Gen: nucleus(j - 2)})
+	}
+	// Rule 2: all B-moves during times 1..n.
+	for t := 1; t <= n; t++ {
+		for i := 2; i <= l; i++ {
+			dim := (i-1)*n + 2 + mod(i+t-3)
+			s.Txs = append(s.Txs, Transmission{Dim: dim, Time: t, Gen: bring(i)})
+		}
+	}
+	// Rule 3: nucleus transpositions, group by group.
+	for g := 0; g < r; g++ {
+		for t := g*n + 2; t <= (g+1)*n+1; t++ {
+			for i := g*n + 2; i <= (g+1)*n+1; i++ {
+				dim := (i-1)*n + 2 + mod(i+t-4)
+				s.Txs = append(s.Txs, Transmission{Dim: dim, Time: t, Gen: nucleus(mod(i + t - 4))})
+			}
+		}
+	}
+	// Rule 4: B⁻¹ for the first group during times n+1..2n.
+	for t := n + 1; t <= 2*n; t++ {
+		for i := 2; i <= n+1; i++ {
+			dim := (i-1)*n + 2 + mod(i+t-3)
+			s.Txs = append(s.Txs, Transmission{Dim: dim, Time: t, Gen: ret(i)})
+		}
+	}
+	// Rule 5: B⁻¹ for the later groups, one step after their rule-3 use.
+	for g := 1; g < r; g++ {
+		for t := g*n + 3; t <= (g+1)*n+2; t++ {
+			for i := g*n + 2; i <= (g+1)*n+1; i++ {
+				dim := (i-1)*n + 2 + mod(i+t-5)
+				s.Txs = append(s.Txs, Transmission{Dim: dim, Time: t, Gen: ret(i)})
+			}
+		}
+	}
+	for _, tx := range s.Txs {
+		if tx.Time > s.Makespan {
+			s.Makespan = tx.Time
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,51 @@
+package schedule_test
+
+import (
+	"fmt"
+
+	"supercayley/internal/core"
+	"supercayley/internal/schedule"
+)
+
+// Build the optimal all-port star-emulation schedule for a macro-star
+// network (Theorem 4).
+func ExampleBuild() {
+	nw := core.MustNew(core.MS, 4, 3)
+	s, err := schedule.Build(nw)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("slowdown:", s.Makespan, "=", "max(2n, l+1) =", schedule.TheoremBound(nw))
+	// Output: slowdown: 6 = max(2n, l+1) = 6
+}
+
+// The explicit five-rule schedule of the Theorem 4 proof applies when
+// l = rn+1.
+func ExamplePaper() {
+	nw := core.MustNew(core.CompleteRS, 4, 3)
+	s, err := schedule.Paper(nw)
+	if err != nil {
+		panic(err)
+	}
+	_, avg := s.Utilization()
+	fmt.Printf("makespan %d, average link utilization %.0f%%\n", s.Makespan, avg*100)
+	// Output: makespan 6, average link utilization 83%
+}
+
+// Figure 1b: the general case l = rn−w, with the caption's numbers.
+func ExampleStagger() {
+	nw := core.MustNew(core.MS, 5, 3)
+	s := schedule.Stagger(nw)
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	per, avg := s.Utilization()
+	full := 0
+	for _, u := range per {
+		if u >= 1 {
+			full++
+		}
+	}
+	fmt.Printf("%d steps, %d fully used, %.0f%% average\n", s.Makespan, full, avg*100)
+	// Output: 6 steps, 5 fully used, 93% average
+}

@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"supercayley/internal/core"
+)
+
+func TestQuickBuildAlwaysValidates(t *testing.T) {
+	// Property: for any family and parameters, Build produces a valid
+	// schedule at or above the resource lower bound.
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fam := core.Families[r.Intn(len(core.Families))]
+		var nw *core.Network
+		var err error
+		if fam == core.IS {
+			nw, err = core.NewIS(3 + r.Intn(9))
+		} else {
+			for {
+				l := 2 + r.Intn(4)
+				n := 1 + r.Intn(4)
+				if n*l+1 <= 13 {
+					nw, err = core.New(fam, l, n)
+					break
+				}
+			}
+		}
+		if err != nil {
+			return false
+		}
+		s, err := Build(nw)
+		if err != nil {
+			return false
+		}
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		return s.Makespan >= LowerBound(nw)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStaggerMatchesBuildWhereApplicable(t *testing.T) {
+	// Property: the staggered constructor, when it applies, is valid
+	// and never better than Build (Build starts from Stagger and only
+	// improves).
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(2))}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fams := []core.Family{core.MS, core.CompleteRS, core.MIS, core.CompleteRIS}
+		fam := fams[r.Intn(len(fams))]
+		l := 2 + r.Intn(4)
+		n := 1 + r.Intn(3)
+		if n*l+1 > 13 {
+			return true
+		}
+		nw := core.MustNew(fam, l, n)
+		st := Stagger(nw)
+		if st == nil {
+			return false // these families always stagger
+		}
+		if err := st.Validate(); err != nil {
+			return false
+		}
+		built, err := Build(nw)
+		if err != nil {
+			return false
+		}
+		return built.Makespan <= st.Makespan
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"supercayley/internal/core"
+)
+
+func mustIS(t *testing.T, k int) *core.Network {
+	t.Helper()
+	nw, err := core.NewIS(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestTheorem4BuildMatchesBound(t *testing.T) {
+	// Slowdown max(2n, l+1) for MS and Complete-RS across a parameter
+	// sweep (Theorem 4), achieved by an optimal conflict-free packing.
+	for _, f := range []core.Family{core.MS, core.CompleteRS} {
+		for l := 2; l <= 5; l++ {
+			for n := 1; n <= 4; n++ {
+				if n*l+1 > 17 {
+					continue
+				}
+				nw := core.MustNew(f, l, n)
+				s, err := Build(nw)
+				if err != nil {
+					t.Fatalf("%s: %v", nw.Name(), err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("%s: invalid schedule: %v", nw.Name(), err)
+				}
+				want := TheoremBound(nw)
+				if s.Makespan != want {
+					t.Errorf("%s: makespan %d, theorem says %d", nw.Name(), s.Makespan, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem5BuildMatchesBound(t *testing.T) {
+	// Slowdown max(2n, l+2) for MIS and Complete-RIS (Theorem 5).
+	// Reproduction finding: the theorem's bound is achieved whenever
+	// l+1 ≥ 2n, but when 2n > l+1 the true optimum is 2n+1 — the
+	// substituted selection step delays the final B⁻¹ move, and
+	// exhaustive search (see TestMIS22OptimumIsFive) confirms the
+	// stated bound is unachievable.  Asymptotically (l = Θ(n)) the
+	// theorem stands.
+	for _, f := range []core.Family{core.MIS, core.CompleteRIS} {
+		for l := 2; l <= 5; l++ {
+			for n := 1; n <= 4; n++ {
+				if n*l+1 > 17 {
+					continue
+				}
+				nw := core.MustNew(f, l, n)
+				s, err := Build(nw)
+				if err != nil {
+					t.Fatalf("%s: %v", nw.Name(), err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("%s: invalid schedule: %v", nw.Name(), err)
+				}
+				want := TheoremBound(nw)
+				if 2*n > l+1 && n > 1 {
+					want = 2*n + 1
+				}
+				if s.Makespan > want {
+					t.Errorf("%s: makespan %d exceeds bound %d", nw.Name(), s.Makespan, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMIS22OptimumIsFive(t *testing.T) {
+	// Exhaustive proof that MIS(2,2) cannot be scheduled in the
+	// max(2n, l+2) = 4 steps Theorem 5 states: dimension 5 expands to
+	// the four steps S2·I3·I2'·S2, forcing S2 onto times {1,4}, which
+	// leaves dimension 4's S2·I2·S2 no room for its middle step.
+	nw := core.MustNew(core.MIS, 2, 2)
+	if _, err := search(nw, 4, 4); err == nil {
+		t.Fatal("a 4-step MIS(2,2) schedule exists after all; Theorem 5 bound achieved")
+	}
+	s, err := Build(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 5 {
+		t.Fatalf("MIS(2,2) optimum %d, want 5", s.Makespan)
+	}
+}
+
+func TestISAllPortSlowdown2(t *testing.T) {
+	// Theorem 2: the IS network emulates the star with slowdown 2
+	// under the all-port model.
+	for k := 3; k <= 9; k++ {
+		nw := mustIS(t, k)
+		s, err := Build(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("IS(%d): %v", k, err)
+		}
+		if s.Makespan != 2 {
+			t.Errorf("IS(%d): makespan %d, want 2", k, s.Makespan)
+		}
+	}
+}
+
+func TestPaperScheduleFigure1a(t *testing.T) {
+	// Figure 1a: emulating a 13-star on MS(4,3) / Complete-RS(4,3)
+	// (l = rn+1 with r=1): 6 steps = max(2n, l+1) = max(6, 5).
+	for _, f := range []core.Family{core.MS, core.CompleteRS} {
+		nw := core.MustNew(f, 4, 3)
+		s, err := Paper(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: paper schedule invalid: %v", nw.Name(), err)
+		}
+		if s.Makespan != 6 {
+			t.Errorf("%s: makespan %d, want 6", nw.Name(), s.Makespan)
+		}
+	}
+}
+
+func TestPaperScheduleSweep(t *testing.T) {
+	// The transcribed five-rule schedule must be valid and optimal for
+	// every l = rn+1 case in range.
+	for n := 2; n <= 4; n++ {
+		for r := 1; r <= 3; r++ {
+			l := r*n + 1
+			if n*l+1 > 17 {
+				continue
+			}
+			nw := core.MustNew(core.MS, l, n)
+			s, err := Paper(nw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s: %v", nw.Name(), err)
+			}
+			if want := TheoremBound(nw); s.Makespan != want {
+				t.Errorf("%s: paper makespan %d, theorem %d", nw.Name(), s.Makespan, want)
+			}
+		}
+	}
+}
+
+func TestPaperScheduleRejectsGeneralCase(t *testing.T) {
+	if _, err := Paper(core.MustNew(core.MS, 5, 3)); err == nil {
+		t.Error("Paper accepted l=5, n=3 (l ≠ rn+1)")
+	}
+	if _, err := Paper(core.MustNew(core.MIS, 4, 3)); err == nil {
+		t.Error("Paper accepted MIS")
+	}
+	if _, err := Paper(core.MustNew(core.MS, 3, 1)); err == nil {
+		t.Error("Paper accepted n=1")
+	}
+}
+
+func TestFigure1bGeneralCase(t *testing.T) {
+	// Figure 1b: emulating a 16-star on MS(5,3) (l = rn−w, r=2, w=1):
+	// 6 steps, links fully used during steps 1–5, 93% on average.
+	nw := core.MustNew(core.MS, 5, 3)
+	s, err := Build(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 6 {
+		t.Fatalf("MS(5,3): makespan %d, want 6", s.Makespan)
+	}
+	per, avg := s.Utilization()
+	full := 0
+	for _, u := range per {
+		if u >= 1 {
+			full++
+		}
+	}
+	if full < 5 {
+		t.Errorf("MS(5,3): %d fully-used steps, figure says 5", full)
+	}
+	if avg < 0.92 || avg > 0.94 {
+		t.Errorf("MS(5,3): average utilization %.3f, figure says 93%%", avg)
+	}
+}
+
+func TestFigure1aUtilization(t *testing.T) {
+	// MS(4,3): 30 transmissions over 6 steps × 6 links = 83%.
+	nw := core.MustNew(core.MS, 4, 3)
+	s, err := Paper(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, avg := s.Utilization()
+	if avg < 0.82 || avg > 0.85 {
+		t.Errorf("MS(4,3): average utilization %.3f, want ≈0.833", avg)
+	}
+}
+
+func TestLowerBoundMatchesTheorem(t *testing.T) {
+	for _, c := range []struct {
+		nw *core.Network
+	}{
+		{core.MustNew(core.MS, 4, 3)},
+		{core.MustNew(core.MS, 5, 3)},
+		{core.MustNew(core.CompleteRS, 3, 2)},
+		{core.MustNew(core.MIS, 3, 2)},
+		{mustIS(t, 7)},
+	} {
+		lb := LowerBound(c.nw)
+		want := TheoremBound(c.nw)
+		if lb > want {
+			t.Errorf("%s: lower bound %d exceeds theorem %d", c.nw.Name(), lb, want)
+		}
+	}
+}
+
+func TestRenderContainsGrid(t *testing.T) {
+	nw := core.MustNew(core.MS, 4, 3)
+	s, err := Paper(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Render()
+	for _, want := range []string{"MS(4,3)", "13-star", "slowdown 6", "T2", "S4", "link utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateCatchesConflicts(t *testing.T) {
+	nw := core.MustNew(core.MS, 2, 2)
+	s, err := Build(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate a transmission at the same time: conflict.
+	bad := &Schedule{Net: nw, Makespan: s.Makespan}
+	bad.Txs = append(bad.Txs, s.Txs...)
+	bad.Txs = append(bad.Txs, s.Txs[0])
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted duplicated transmission")
+	}
+	// Drop a transmission: incomplete dimension.
+	bad2 := &Schedule{Net: nw, Makespan: s.Makespan, Txs: s.Txs[1:]}
+	if err := bad2.Validate(); err == nil {
+		t.Error("Validate accepted missing transmission")
+	}
+}
+
+func TestBuildValidForOtherFamilies(t *testing.T) {
+	// No theorem bound for RS/RR/MR, but Build must still produce a
+	// valid packing.
+	for _, nw := range []*core.Network{
+		core.MustNew(core.RS, 3, 2),
+		core.MustNew(core.MR, 3, 2),
+		core.MustNew(core.RR, 3, 2),
+		core.MustNew(core.CompleteRR, 3, 2),
+		core.MustNew(core.RIS, 3, 2),
+	} {
+		s, err := Build(nw)
+		if err != nil {
+			t.Fatalf("%s: %v", nw.Name(), err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", nw.Name(), err)
+		}
+		if s.Makespan < LowerBound(nw) {
+			t.Fatalf("%s: makespan below lower bound", nw.Name())
+		}
+	}
+}
+
+func TestCorollary1AsymptoticOptimality(t *testing.T) {
+	// Corollary 1: with l = Θ(n) the slowdown max(2n, l+1) is within a
+	// constant of the degree-ratio lower bound ⌈d_star/d_ms⌉.
+	for n := 2; n <= 3; n++ {
+		l := n + 1 // l = Θ(n)
+		nw := core.MustNew(core.MS, l, n)
+		s, err := Build(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := nw.K()
+		ratio := (k - 1 + nw.Degree() - 1) / nw.Degree() // ⌈(k-1)/deg⌉
+		if s.Makespan > 4*ratio {
+			t.Errorf("MS(%d,%d): slowdown %d not within 4× degree ratio %d", l, n, s.Makespan, ratio)
+		}
+	}
+}

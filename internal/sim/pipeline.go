@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// PipelineResult reports a pipelined single-dimension transmission.
+type PipelineResult struct {
+	Rounds  int
+	Packets int64
+	// Slowdown is Rounds divided by the packets-per-node count B —
+	// the amortized per-packet cost that Section 3 of the paper
+	// argues approaches 2 for MS-class networks and 1 for IS networks
+	// under wormhole or heavily-loaded packet switching.
+	Slowdown float64
+}
+
+// Pipeline simulates B packets per node streaming along a fixed port
+// path (the same path shape at every node — an SDC dimension
+// emulation): each (node, port) link forwards one packet per round,
+// excess packets queue FIFO.  The completion time divided by B is the
+// amortized slowdown of the emulated star dimension.
+func Pipeline(nt *Net, path []int, bPerNode int) (PipelineResult, error) {
+	n, d := nt.N(), nt.Ports()
+	if len(path) == 0 {
+		return PipelineResult{}, fmt.Errorf("sim: empty pipeline path")
+	}
+	for _, p := range path {
+		if p < 0 || p >= d {
+			return PipelineResult{}, fmt.Errorf("sim: invalid port %d", p)
+		}
+	}
+	if bPerNode < 1 {
+		return PipelineResult{}, fmt.Errorf("sim: need at least one packet per node")
+	}
+	total := int64(n) * int64(bPerNode)
+	if total*int64(len(path)) > 50_000_000 {
+		return PipelineResult{}, fmt.Errorf("sim: pipeline workload too large")
+	}
+
+	// Packet state: its current position index along the path; queues
+	// per (node, port).
+	type packet struct{ pos int32 }
+	packets := make([]packet, 0, total)
+	queues := make([][]int32, n*d)
+	for src := 0; src < n; src++ {
+		for b := 0; b < bPerNode; b++ {
+			packets = append(packets, packet{})
+			idx := int32(len(packets) - 1)
+			queues[src*d+path[0]] = append(queues[src*d+path[0]], idx)
+		}
+	}
+	// posNode tracks each packet's current node.
+	posNode := make([]int32, total)
+	for src := 0; src < n; src++ {
+		for b := 0; b < bPerNode; b++ {
+			posNode[int64(src)*int64(bPerNode)+int64(b)] = int32(src)
+		}
+	}
+
+	res := PipelineResult{Packets: total}
+	var delivered int64
+	type arrival struct {
+		node int32
+		pkt  int32
+	}
+	var arrivals []arrival
+	maxRounds := int(total)*len(path) + len(path) + 8
+	for round := 1; delivered < total; round++ {
+		if round > maxRounds {
+			return res, fmt.Errorf("sim: pipeline stalled")
+		}
+		arrivals = arrivals[:0]
+		for v := 0; v < n; v++ {
+			for p := 0; p < d; p++ {
+				q := queues[v*d+p]
+				if len(q) == 0 {
+					continue
+				}
+				pktIdx := q[0]
+				queues[v*d+p] = q[1:]
+				pk := &packets[pktIdx]
+				next := nt.Neighbor(v, p)
+				pk.pos++
+				posNode[pktIdx] = int32(next)
+				if int(pk.pos) == len(path) {
+					delivered++
+				} else {
+					arrivals = append(arrivals, arrival{int32(next), pktIdx})
+				}
+			}
+		}
+		for _, a := range arrivals {
+			pk := packets[a.pkt]
+			port := path[pk.pos]
+			queues[int(a.node)*d+port] = append(queues[int(a.node)*d+port], a.pkt)
+		}
+		res.Rounds = round
+	}
+	res.Slowdown = float64(res.Rounds) / float64(bPerNode)
+	return res, nil
+}

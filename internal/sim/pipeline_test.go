@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestPipelineSingleHopFullRate(t *testing.T) {
+	nt := starNet(t, 4)
+	res, err := Pipeline(nt, []int{0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 10 || res.Slowdown != 1 {
+		t.Fatalf("single hop: %+v, want 10 rounds slowdown 1", res)
+	}
+}
+
+func TestPipelineDistinctLinksPipelines(t *testing.T) {
+	// A path over two distinct links pipelines: B packets in B+1
+	// rounds.
+	nt := starNet(t, 4)
+	res, err := Pipeline(nt, []int{0, 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 17 {
+		t.Fatalf("two distinct links: %d rounds, want 17", res.Rounds)
+	}
+}
+
+func TestPipelineSharedLinkHalvesRate(t *testing.T) {
+	// T2·T3·T2 reuses the T2 link: throughput halves, B packets need
+	// ~2B rounds.
+	nt := starNet(t, 4)
+	res, err := Pipeline(nt, []int{0, 1, 0}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown < 1.9 || res.Slowdown > 2.2 {
+		t.Fatalf("shared link slowdown %.3f, want ≈ 2", res.Slowdown)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	nt := starNet(t, 4)
+	if _, err := Pipeline(nt, nil, 4); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := Pipeline(nt, []int{99}, 4); err == nil {
+		t.Error("bad port accepted")
+	}
+	if _, err := Pipeline(nt, []int{0}, 0); err == nil {
+		t.Error("zero packets accepted")
+	}
+}

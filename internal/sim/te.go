@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+)
+
+// TEResult reports a simulated total exchange.
+type TEResult struct {
+	Rounds    int
+	Delivered int64
+	TotalHops int64
+	LinkStats LinkStats
+}
+
+// RouteFunc returns the port sequence a packet from src to dst
+// follows.
+type RouteFunc func(src, dst int) ([]int, error)
+
+// TE simulates the total exchange under the all-port model: every
+// node sends one personalized packet to every other node, each packet
+// following a fixed route; every (node, port) link carries at most one
+// packet per round, excess packets queue FIFO.
+func TE(nt *Net, route RouteFunc) (TEResult, error) {
+	n, d := nt.N(), nt.Ports()
+	total := int64(n) * int64(n-1)
+	if total > 2_000_000 {
+		return TEResult{}, fmt.Errorf("sim: TE on %s needs %d packets", nt.Name(), total)
+	}
+
+	// A packet is its remaining port sequence; packets sit in
+	// per-(node,port) FIFO queues.
+	type packet struct {
+		path []uint8
+		pos  int
+	}
+	queues := make([][]int32, n*d) // packet indices
+	packets := make([]packet, 0, total)
+
+	enqueue := func(node int, pktIdx int32) {
+		p := &packets[pktIdx]
+		port := int(p.path[p.pos])
+		queues[node*d+port] = append(queues[node*d+port], pktIdx)
+	}
+
+	res := TEResult{}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			ports, err := route(src, dst)
+			if err != nil {
+				return res, fmt.Errorf("sim: TE route %d→%d: %w", src, dst, err)
+			}
+			if len(ports) == 0 {
+				return res, fmt.Errorf("sim: TE route %d→%d is empty", src, dst)
+			}
+			path := make([]uint8, len(ports))
+			for i, p := range ports {
+				if p < 0 || p >= d {
+					return res, fmt.Errorf("sim: TE route %d→%d uses invalid port %d", src, dst, p)
+				}
+				path[i] = uint8(p)
+			}
+			packets = append(packets, packet{path: path})
+			res.TotalHops += int64(len(path))
+			enqueue(src, int32(len(packets)-1))
+		}
+	}
+
+	linkUses := make([]int, n*d)
+	type arrival struct {
+		node int
+		pkt  int32
+	}
+	var arrivals []arrival
+	maxRounds := int(res.TotalHops) + 1
+	for round := 1; res.Delivered < total; round++ {
+		if round > maxRounds {
+			return res, fmt.Errorf("sim: TE on %s stalled at round %d", nt.Name(), round)
+		}
+		arrivals = arrivals[:0]
+		moved := false
+		for v := 0; v < n; v++ {
+			for port := 0; port < d; port++ {
+				q := queues[v*d+port]
+				if len(q) == 0 {
+					continue
+				}
+				pktIdx := q[0]
+				queues[v*d+port] = q[1:]
+				moved = true
+				linkUses[v*d+port]++
+				p := &packets[pktIdx]
+				next := nt.Neighbor(v, port)
+				p.pos++
+				if p.pos == len(p.path) {
+					res.Delivered++
+				} else {
+					arrivals = append(arrivals, arrival{node: next, pkt: pktIdx})
+				}
+			}
+		}
+		if !moved {
+			return res, fmt.Errorf("sim: TE on %s deadlocked at round %d", nt.Name(), round)
+		}
+		for _, a := range arrivals {
+			enqueue(a.node, a.pkt)
+		}
+		res.Rounds = round
+	}
+	res.LinkStats = statsOf(linkUses)
+	return res, nil
+}
+
+// TELowerBound returns the transmission-capacity lower bound on TE
+// rounds: sumDist total packet-hops at n·d transmissions per round
+// (all-port).  sumDist is the sum of distances over all ordered pairs.
+func TELowerBound(n, d int, sumDist int64) int {
+	cap := int64(n) * int64(d)
+	return int((sumDist + cap - 1) / cap)
+}
+
+// TESDC simulates the total exchange under the single-dimension model:
+// round t opens only port t mod d at every node, and each open link
+// carries one packet.  Mišić and Jovanović prove the k-star completes
+// in (k+1)! + o((k+1)!) rounds; the capacity bound is sumDist/N per
+// dimension sweep.
+func TESDC(nt *Net, route RouteFunc) (TEResult, error) {
+	n, d := nt.N(), nt.Ports()
+	total := int64(n) * int64(n-1)
+	if total > 2_000_000 {
+		return TEResult{}, fmt.Errorf("sim: SDC TE on %s needs %d packets", nt.Name(), total)
+	}
+	type packet struct {
+		path []uint8
+		pos  int
+	}
+	queues := make([][]int32, n*d)
+	packets := make([]packet, 0, total)
+	enqueue := func(node int, pktIdx int32) {
+		p := &packets[pktIdx]
+		port := int(p.path[p.pos])
+		queues[node*d+port] = append(queues[node*d+port], pktIdx)
+	}
+	res := TEResult{}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			ports, err := route(src, dst)
+			if err != nil || len(ports) == 0 {
+				return res, fmt.Errorf("sim: SDC TE route %d→%d invalid: %v", src, dst, err)
+			}
+			path := make([]uint8, len(ports))
+			for i, p := range ports {
+				if p < 0 || p >= d {
+					return res, fmt.Errorf("sim: SDC TE route %d→%d uses invalid port %d", src, dst, p)
+				}
+				path[i] = uint8(p)
+			}
+			packets = append(packets, packet{path: path})
+			res.TotalHops += int64(len(path))
+			enqueue(src, int32(len(packets)-1))
+		}
+	}
+	linkUses := make([]int, n*d)
+	type arrival struct {
+		node int
+		pkt  int32
+	}
+	var arrivals []arrival
+	maxRounds := int(res.TotalHops)*d + d
+	for round := 1; res.Delivered < total; round++ {
+		if round > maxRounds {
+			return res, fmt.Errorf("sim: SDC TE on %s stalled at round %d", nt.Name(), round)
+		}
+		port := (round - 1) % d
+		arrivals = arrivals[:0]
+		for v := 0; v < n; v++ {
+			q := queues[v*d+port]
+			if len(q) == 0 {
+				continue
+			}
+			pktIdx := q[0]
+			queues[v*d+port] = q[1:]
+			linkUses[v*d+port]++
+			p := &packets[pktIdx]
+			next := nt.Neighbor(v, port)
+			p.pos++
+			if p.pos == len(p.path) {
+				res.Delivered++
+			} else {
+				arrivals = append(arrivals, arrival{node: next, pkt: pktIdx})
+			}
+		}
+		for _, a := range arrivals {
+			enqueue(a.node, a.pkt)
+		}
+		res.Rounds = round
+	}
+	res.LinkStats = statsOf(linkUses)
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package star
+
+import (
+	"math/rand"
+	"testing"
+
+	"supercayley/internal/graph"
+	"supercayley/internal/perm"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("New(1) accepted")
+	}
+	if _, err := New(perm.MaxK + 1); err == nil {
+		t.Error("New(21) accepted")
+	}
+	g := MustNew(5)
+	if g.K() != 5 || g.N() != 120 || g.Degree() != 4 || g.Diameter() != 6 {
+		t.Fatalf("5-star params wrong: K=%d N=%d deg=%d diam=%d", g.K(), g.N(), g.Degree(), g.Diameter())
+	}
+	if g.Name() != "5-star" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}
+
+func TestNeighborsCount(t *testing.T) {
+	g := MustNew(6)
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		p := perm.Random(r, 6)
+		nbrs := g.Neighbors(p)
+		if len(nbrs) != 5 {
+			t.Fatalf("degree %d", len(nbrs))
+		}
+		seen := map[string]bool{}
+		for _, q := range nbrs {
+			if seen[q.String()] {
+				t.Fatalf("duplicate neighbor %v of %v", q, p)
+			}
+			seen[q.String()] = true
+			if q.Equal(p) {
+				t.Fatalf("self loop at %v", p)
+			}
+		}
+	}
+}
+
+func TestSortToIdentityOptimal(t *testing.T) {
+	// The greedy cycle algorithm must achieve the closed-form
+	// distance exactly, for every permutation of k ≤ 7.
+	for k := 2; k <= 7; k++ {
+		g := MustNew(k)
+		perm.All(k, func(p perm.Perm) bool {
+			seq := g.SortToIdentity(p)
+			if len(seq) != p.StarDistance() {
+				t.Fatalf("k=%d %v: greedy %d moves, distance %d", k, p, len(seq), p.StarDistance())
+			}
+			cur := p.Clone()
+			for _, gen := range seq {
+				cur = gen.Apply(cur)
+			}
+			if !cur.IsIdentity() {
+				t.Fatalf("k=%d %v: sort did not reach identity (got %v)", k, p, cur)
+			}
+			return true
+		})
+	}
+}
+
+func TestRouteReachesDestination(t *testing.T) {
+	g := MustNew(8)
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		u, v := perm.Random(r, 8), perm.Random(r, 8)
+		seq := g.Route(u, v)
+		if len(seq) != g.Distance(u, v) {
+			t.Fatalf("route length %d != distance %d", len(seq), g.Distance(u, v))
+		}
+		cur := u.Clone()
+		for _, gen := range seq {
+			cur = gen.Apply(cur)
+		}
+		if !cur.Equal(v) {
+			t.Fatalf("route from %v to %v ended at %v", u, v, cur)
+		}
+	}
+}
+
+func TestPathEndpoints(t *testing.T) {
+	g := MustNew(6)
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		u, v := perm.Random(r, 6), perm.Random(r, 6)
+		path := g.Path(u, v)
+		if !path[0].Equal(u) || !path[len(path)-1].Equal(v) {
+			t.Fatalf("path endpoints wrong: %v", path)
+		}
+		// Consecutive nodes must be adjacent.
+		for i := 1; i < len(path); i++ {
+			adjacent := false
+			for _, q := range g.Neighbors(path[i-1]) {
+				if q.Equal(path[i]) {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				t.Fatalf("path step %d not an edge: %v -> %v", i, path[i-1], path[i])
+			}
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	g := MustNew(7)
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		u, v := perm.Random(r, 7), perm.Random(r, 7)
+		if g.Distance(u, v) != g.Distance(v, u) {
+			t.Fatalf("distance asymmetric for %v %v", u, v)
+		}
+	}
+}
+
+func TestGenPanics(t *testing.T) {
+	g := MustNew(5)
+	for _, j := range []int{1, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gen(%d) did not panic", j)
+				}
+			}()
+			g.Gen(j)
+		}()
+	}
+	if g.Gen(3).Dim() != 3 {
+		t.Fatal("Gen(3) wrong dimension")
+	}
+}
+
+func TestCayleyViewProperties(t *testing.T) {
+	g := MustNew(5)
+	cg, err := g.Cayley(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Order() != 120 {
+		t.Fatalf("order %d", cg.Order())
+	}
+	mat := graph.Materialize(cg)
+	if d, ok := graph.IsRegular(mat); !ok || d != 4 {
+		t.Fatalf("regularity: d=%d ok=%v", d, ok)
+	}
+	if !graph.IsUndirected(mat) {
+		t.Fatal("star graph should be undirected")
+	}
+	if diam, _ := graph.Eccentricity(mat, 0); diam != g.Diameter() {
+		t.Fatalf("diameter %d, want %d", diam, g.Diameter())
+	}
+	if !graph.LooksVertexSymmetric(mat, 12) {
+		t.Fatal("star graph failed vertex-symmetry profile check")
+	}
+	// Size limit honored.
+	if _, err := g.Cayley(10); err == nil {
+		t.Fatal("Cayley(10) should refuse 120-node graph")
+	}
+}
+
+func TestStarEdgesConnectPermsDifferingByFirstSymbolSwap(t *testing.T) {
+	// Structural definition check: u ~ v iff v equals u with
+	// positions 1 and i exchanged for some i ≥ 2.
+	g := MustNew(5)
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		u := perm.Random(r, 5)
+		for _, v := range g.Neighbors(u) {
+			diff := 0
+			for i := range u {
+				if u[i] != v[i] {
+					diff++
+				}
+			}
+			if diff != 2 || u[0] == v[0] {
+				t.Fatalf("star edge %v ~ %v malformed", u, v)
+			}
+		}
+	}
+}

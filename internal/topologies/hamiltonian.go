@@ -1,0 +1,41 @@
+package topologies
+
+import (
+	"fmt"
+
+	"supercayley/internal/perm"
+)
+
+// TNHamiltonianPath returns a Hamiltonian path of the k-dimensional
+// transposition network: an ordering of all k! permutations in which
+// consecutive permutations differ by exactly one symbol transposition
+// (one k-TN link).  It walks the 2×3×…×k factorial mesh along the
+// reflected mixed-radix Gray sequence: each ±1 digit step swaps two
+// symbols, witnessing the "rich topology" the paper cites k-TN for.
+func TNHamiltonianPath(k int) ([]perm.Perm, error) {
+	if k < 2 || k > 9 {
+		return nil, fmt.Errorf("topologies: Hamiltonian path k=%d out of range [2,9]", k)
+	}
+	mesh, err := NewFactorialMesh(k)
+	if err != nil {
+		return nil, err
+	}
+	gray, err := NewMixedGray(mesh.Dims()...)
+	if err != nil {
+		return nil, err
+	}
+	path := make([]perm.Perm, gray.Order())
+	for x := 0; x < gray.Order(); x++ {
+		path[x] = mesh.MeshToPerm(mesh.ID(gray.Digits(x)))
+	}
+	return path, nil
+}
+
+// StarHamiltonianWalk returns the same Gray ordering interpreted in
+// the k-star: consecutive permutations are at star distance at most 3,
+// giving a load-1 traversal of all k! nodes by constant-length hops
+// (the dilation-3 path embedding behind Corollary 6's m₁×m₂ meshes
+// with m₂ = 1).
+func StarHamiltonianWalk(k int) ([]perm.Perm, error) {
+	return TNHamiltonianPath(k)
+}

@@ -1,0 +1,73 @@
+package topologies
+
+import (
+	"testing"
+
+	"supercayley/internal/perm"
+)
+
+func TestTNHamiltonianPath(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		path, err := TNHamiltonianPath(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(path)) != perm.Factorial(k) {
+			t.Fatalf("k=%d: path length %d, want %d", k, len(path), perm.Factorial(k))
+		}
+		seen := make(map[int64]bool, len(path))
+		for i, p := range path {
+			if !p.Valid() {
+				t.Fatalf("k=%d: invalid permutation at %d", k, i)
+			}
+			r := p.Rank()
+			if seen[r] {
+				t.Fatalf("k=%d: permutation repeated at %d", k, i)
+			}
+			seen[r] = true
+			if i == 0 {
+				continue
+			}
+			// Consecutive entries must differ by one transposition:
+			// exactly two positions differ, with swapped symbols.
+			diff := 0
+			var a, b int
+			prev := path[i-1]
+			for j := range p {
+				if p[j] != prev[j] {
+					diff++
+					if diff == 1 {
+						a = j
+					} else {
+						b = j
+					}
+				}
+			}
+			if diff != 2 || prev[a] != p[b] || prev[b] != p[a] {
+				t.Fatalf("k=%d: step %d is not a single transposition: %v -> %v", k, i, prev, p)
+			}
+		}
+	}
+}
+
+func TestStarHamiltonianWalkBoundedHops(t *testing.T) {
+	path, err := StarHamiltonianWalk(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(path); i++ {
+		d := path[i].Inverse().Compose(path[i-1]).StarDistance()
+		if d < 1 || d > 3 {
+			t.Fatalf("step %d has star distance %d", i, d)
+		}
+	}
+}
+
+func TestTNHamiltonianPathBounds(t *testing.T) {
+	if _, err := TNHamiltonianPath(1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := TNHamiltonianPath(10); err == nil {
+		t.Error("k=10 accepted")
+	}
+}

@@ -1,0 +1,314 @@
+package topologies
+
+import (
+	"math/rand"
+	"testing"
+
+	"supercayley/internal/graph"
+	"supercayley/internal/perm"
+)
+
+func TestHypercubeBasics(t *testing.T) {
+	h := MustNewHypercube(4)
+	if h.Order() != 16 || h.Degree() != 4 || h.Diameter() != 4 || h.Name() != "Q4" {
+		t.Fatalf("Q4 params wrong")
+	}
+	if _, err := NewHypercube(-1); err == nil {
+		t.Error("Q(-1) accepted")
+	}
+	if _, err := NewHypercube(31); err == nil {
+		t.Error("Q31 accepted")
+	}
+	mat := graph.Materialize(h)
+	if d := graph.Diameter(mat); d != 4 {
+		t.Fatalf("BFS diameter %d", d)
+	}
+	if !graph.IsUndirected(mat) || !graph.LooksVertexSymmetric(mat, 8) {
+		t.Fatal("Q4 structure wrong")
+	}
+	if h.Distance(0b0101, 0b1100) != 2 {
+		t.Fatal("Hamming distance wrong")
+	}
+}
+
+func TestGrayCode(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if GrayRank(GrayCode(i)) != i {
+			t.Fatalf("GrayRank(GrayCode(%d)) != %d", i, i)
+		}
+	}
+	h := MustNewHypercube(8)
+	for i := 1; i < 256; i++ {
+		if h.Distance(GrayCode(i-1), GrayCode(i)) != 1 {
+			t.Fatalf("Gray neighbors %d,%d not adjacent", i-1, i)
+		}
+	}
+}
+
+func TestMeshBasics(t *testing.T) {
+	m := MustNewMesh(3, 4, 2)
+	if m.Order() != 24 || m.Diameter() != 2+3+1 {
+		t.Fatalf("mesh params wrong: %d %d", m.Order(), m.Diameter())
+	}
+	if m.Name() != "mesh(3x4x2)" {
+		t.Fatalf("name %q", m.Name())
+	}
+	if _, err := NewMesh(); err == nil {
+		t.Error("empty mesh accepted")
+	}
+	if _, err := NewMesh(0); err == nil {
+		t.Error("zero-size mesh accepted")
+	}
+	// Coords/ID round trip.
+	for v := 0; v < m.Order(); v++ {
+		if m.ID(m.Coords(v)) != v {
+			t.Fatalf("coords round-trip failed for %d", v)
+		}
+	}
+	// BFS diameter matches formula.
+	if d := graph.Diameter(graph.Materialize(m)); d != m.Diameter() {
+		t.Fatalf("BFS diameter %d, want %d", d, m.Diameter())
+	}
+	// L1 distance matches BFS from node 0.
+	dist := graph.BFS(m, 0)
+	for v := 0; v < m.Order(); v++ {
+		if dist[v] != m.Distance(0, v) {
+			t.Fatalf("distance mismatch at %d", v)
+		}
+	}
+}
+
+func TestMeshNeighborsSymmetric(t *testing.T) {
+	m := MustNewMesh(4, 3)
+	mat := graph.Materialize(m)
+	if !graph.IsUndirected(mat) {
+		t.Fatal("mesh should be undirected")
+	}
+	// Corner has 2 neighbors, center has 4.
+	if len(mat.Neighbors(0)) != 2 {
+		t.Fatal("corner degree wrong")
+	}
+	if len(mat.Neighbors(m.ID([]int{1, 1}))) != 4 {
+		t.Fatal("center degree wrong")
+	}
+}
+
+func TestFactorialMeshBijection(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		m, err := NewFactorialMesh(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(m.Order()) != perm.Factorial(k) {
+			t.Fatalf("factorial mesh order %d, want %d", m.Order(), perm.Factorial(k))
+		}
+		seen := make(map[int64]bool)
+		for v := 0; v < m.Order(); v++ {
+			p := m.MeshToPerm(v)
+			if !p.Valid() {
+				t.Fatalf("MeshToPerm(%d) invalid", v)
+			}
+			r := p.Rank()
+			if seen[r] {
+				t.Fatalf("MeshToPerm not injective at %d", v)
+			}
+			seen[r] = true
+			if m.PermToMesh(p) != v {
+				t.Fatalf("PermToMesh round-trip failed at %d", v)
+			}
+		}
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	tr := MustNewCompleteBinaryTree(3)
+	if tr.Order() != 15 || tr.Diameter() != 6 || tr.Name() != "CBT(3)" {
+		t.Fatalf("CBT params wrong")
+	}
+	if _, err := NewCompleteBinaryTree(-1); err == nil {
+		t.Error("negative height accepted")
+	}
+	mat := graph.Materialize(tr)
+	if !graph.IsUndirected(mat) {
+		t.Fatal("tree should be undirected")
+	}
+	if d := graph.Diameter(mat); d != 6 {
+		t.Fatalf("diameter %d", d)
+	}
+	// Root degree 2, leaves degree 1, internal 3.
+	if len(mat.Neighbors(0)) != 2 {
+		t.Fatal("root degree")
+	}
+	if len(mat.Neighbors(14)) != 1 {
+		t.Fatal("leaf degree")
+	}
+	if len(mat.Neighbors(1)) != 3 {
+		t.Fatal("internal degree")
+	}
+	if tr.Level(0) != 0 || tr.Level(2) != 1 || tr.Level(14) != 3 {
+		t.Fatal("levels wrong")
+	}
+}
+
+func TestInorderIsPermutationWithDilation2InHypercube(t *testing.T) {
+	// The inorder labeling embeds CBT(h) into Q_(h+1) with dilation 2.
+	for h := 1; h <= 6; h++ {
+		tr := MustNewCompleteBinaryTree(h)
+		q := MustNewHypercube(h + 1)
+		seen := make([]bool, tr.Order())
+		for v := 0; v < tr.Order(); v++ {
+			in := tr.Inorder(v)
+			if in < 0 || in >= tr.Order() || seen[in] {
+				t.Fatalf("h=%d inorder not a permutation at %d (got %d)", h, v, in)
+			}
+			seen[in] = true
+		}
+		for v := 1; v < tr.Order(); v++ {
+			p := (v - 1) / 2
+			if d := q.Distance(tr.Inorder(v), tr.Inorder(p)); d > 2 {
+				t.Fatalf("h=%d tree edge (%d,%d) dilation %d > 2", h, p, v, d)
+			}
+		}
+	}
+}
+
+func TestTranspositionNetwork(t *testing.T) {
+	tn := MustNewTranspositionNetwork(5)
+	if tn.Degree() != 10 || tn.Diameter() != 4 || tn.N() != 120 {
+		t.Fatalf("5-TN params wrong")
+	}
+	if _, err := NewTranspositionNetwork(1); err == nil {
+		t.Error("1-TN accepted")
+	}
+	cg, err := tn.Cayley(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := graph.Materialize(cg)
+	if d := graph.Diameter(mat); d != 4 {
+		t.Fatalf("BFS diameter %d, want 4", d)
+	}
+	if deg, ok := graph.IsRegular(mat); !ok || deg != 10 {
+		t.Fatal("5-TN regularity wrong")
+	}
+	// Exact distance formula vs BFS.
+	dist := graph.BFS(mat, 0)
+	id := perm.Identity(5)
+	perm.All(5, func(p perm.Perm) bool {
+		if dist[p.Rank()] != tn.Distance(p, id) {
+			t.Fatalf("TN distance mismatch at %v: BFS %d formula %d", p, dist[p.Rank()], tn.Distance(p, id))
+		}
+		return true
+	})
+}
+
+func TestTNRouteOptimal(t *testing.T) {
+	tn := MustNewTranspositionNetwork(7)
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		u, v := perm.Random(r, 7), perm.Random(r, 7)
+		seq := tn.Route(u, v)
+		if len(seq) != tn.Distance(u, v) {
+			t.Fatalf("TN route %d moves, distance %d", len(seq), tn.Distance(u, v))
+		}
+		cur := u.Clone()
+		for _, g := range seq {
+			cur = g.Apply(cur)
+		}
+		if !cur.Equal(v) {
+			t.Fatalf("TN route from %v to %v ended at %v", u, v, cur)
+		}
+	}
+}
+
+func TestBubbleSortGraph(t *testing.T) {
+	b := MustNewBubbleSort(5)
+	if b.Degree() != 4 || b.Diameter() != 10 || b.N() != 120 {
+		t.Fatal("bubble-sort params wrong")
+	}
+	if _, err := NewBubbleSort(1); err == nil {
+		t.Error("1-bubble-sort accepted")
+	}
+	cg, err := b.Cayley(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := graph.Materialize(cg)
+	if d := graph.Diameter(mat); d != 10 {
+		t.Fatalf("BFS diameter %d, want 10", d)
+	}
+	// Exact distance formula (inversions) vs BFS.
+	dist := graph.BFS(mat, 0)
+	id := perm.Identity(5)
+	perm.All(5, func(p perm.Perm) bool {
+		if dist[p.Rank()] != b.Distance(p, id) {
+			t.Fatalf("bubble distance mismatch at %v", p)
+		}
+		return true
+	})
+}
+
+func TestBubbleSortRouteOptimal(t *testing.T) {
+	b := MustNewBubbleSort(6)
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		u, v := perm.Random(r, 6), perm.Random(r, 6)
+		seq := b.Route(u, v)
+		if len(seq) != b.Distance(u, v) {
+			t.Fatalf("bubble route %d moves, distance %d", len(seq), b.Distance(u, v))
+		}
+		cur := u.Clone()
+		for _, g := range seq {
+			cur = g.Apply(cur)
+		}
+		if !cur.Equal(v) {
+			t.Fatal("bubble route wrong destination")
+		}
+	}
+}
+
+func TestBubbleSortSubgraphOfTN(t *testing.T) {
+	b := MustNewBubbleSort(5)
+	tn := MustNewTranspositionNetwork(5)
+	for _, g := range b.Set().Generators() {
+		if tn.Set().IndexOfAction(g) < 0 {
+			t.Fatalf("bubble generator %s not in TN", g.Name())
+		}
+	}
+}
+
+func TestRotatorGraph(t *testing.T) {
+	r := MustNewRotator(5)
+	if r.Degree() != 4 || r.N() != 120 {
+		t.Fatal("rotator params wrong")
+	}
+	if _, err := NewRotator(1); err == nil {
+		t.Error("1-rotator accepted")
+	}
+	cg, err := r.Cayley(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := graph.Materialize(cg)
+	// Corbett: the k-rotator has diameter k−1 and is strongly
+	// connected but directed.
+	if graph.IsUndirected(mat) {
+		t.Fatal("rotator should be directed")
+	}
+	if d := graph.Diameter(mat); d != 4 {
+		t.Fatalf("rotator diameter %d, want 4", d)
+	}
+	if s := graph.StatsFrom(mat, 0); !s.Connected {
+		t.Fatal("rotator should be strongly connected")
+	}
+}
+
+func TestMeshIDPanicsOutOfRange(t *testing.T) {
+	m := MustNewMesh(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("ID out of range did not panic")
+		}
+	}()
+	m.ID([]int{2, 0})
+}
