@@ -1,0 +1,30 @@
+#!/bin/sh
+# ci.sh — the tier-1 gate plus static checks and the race detector.
+#
+# The -race run matters: the CSR analytics engine (internal/graph)
+# materializes Cayley graphs and sweeps BFS sources across a worker
+# pool, and its differential tests (csr_test.go, csr_diff_test.go)
+# exercise those parallel drivers end to end.
+#
+# Regenerate the benchmark snapshot separately (it is slow):
+#   SCG_WRITE_BENCH=1 go test ./internal/graph -run WriteBenchSnapshot -v -timeout 30m
+set -eu
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "ci: all checks passed"

@@ -136,12 +136,12 @@ func cmdInfo(args []string) error {
 		if err != nil {
 			return err
 		}
-		mat := graph.Materialize(cg)
-		stats := graph.StatsFrom(mat, 0)
+		csr := graph.NewCSRFromCayley(cg)
+		stats := csr.Stats(0)
 		fmt.Printf("diameter:   %d (universal lower bound DL(d,N) = %d)\n",
 			stats.Ecc, graph.DiameterLowerBound(nw.Degree(), nw.N()))
 		fmt.Printf("mean dist:  %.3f\n", stats.Mean)
-		fmt.Printf("symmetric:  %v (distance-profile check)\n", graph.LooksVertexSymmetric(mat, 8))
+		fmt.Printf("symmetric:  %v (distance-profile check)\n", csr.LooksVertexSymmetric(8))
 	}
 	return nil
 }
@@ -365,7 +365,7 @@ func cmdExport(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	return graph.WriteDOT(w, graph.Materialize(cg), nw.Name(), func(v int) string {
+	return graph.WriteDOT(w, graph.NewCSRFromCayley(cg), nw.Name(), func(v int) string {
 		return cg.NodePerm(v).Compact()
 	})
 }

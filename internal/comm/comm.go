@@ -209,15 +209,16 @@ func EmulatedMNB(nw *core.Network, model sim.Model) (starRounds, slowdown, emula
 // others times N (exact for vertex-symmetric graphs), used by the TE
 // lower bound.
 func SumDistances(nt *sim.Net) int64 {
-	adj := make([][]int, nt.N())
-	for v := range adj {
-		nbrs := make([]int, nt.Ports())
-		for p := range nbrs {
-			nbrs[p] = nt.Neighbor(v, p)
+	n, ports := nt.N(), nt.Ports()
+	offsets := make([]int64, n+1)
+	edges := make([]int32, int64(n)*int64(ports))
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + int64(ports)
+		for p := 0; p < ports; p++ {
+			edges[int64(v)*int64(ports)+int64(p)] = int32(nt.Neighbor(v, p))
 		}
-		adj[v] = nbrs
 	}
-	g := graph.NewAdjacency(nt.Name(), adj)
-	s := graph.StatsFrom(g, 0)
-	return s.DistCounted * int64(nt.N())
+	g := graph.NewCSR(nt.Name(), offsets, edges)
+	s := g.Stats(0)
+	return s.DistCounted * int64(n)
 }

@@ -31,7 +31,9 @@ func Dilation1TreeSearch(h int, host graph.Graph, budget int) (*Embedding, bool,
 	if budget <= 0 {
 		budget = 20_000_000
 	}
-	adj := graph.Materialize(host)
+	// CSR puts every candidate scan on the flat edge array; a CSR (or
+	// Cayley) host converts without re-walking neighbor queries.
+	adj := graph.NewCSRFromGraph(host)
 
 	// Guest nodes are placed in DFS preorder: a whole subtree is
 	// embedded before its sibling, so conflicts backtrack locally.
@@ -53,7 +55,7 @@ func Dilation1TreeSearch(h int, host graph.Graph, budget int) (*Embedding, bool,
 
 	freeDeg := func(w int) int {
 		free := 0
-		for _, x := range adj.Neighbors(w) {
+		for _, x := range adj.Arcs(w) {
 			if !used[x] {
 				free++
 			}
@@ -80,15 +82,15 @@ func Dilation1TreeSearch(h int, host graph.Graph, budget int) (*Embedding, bool,
 		// hosts first.
 		type cand struct{ w, free int }
 		var cands []cand
-		for _, w := range adj.Neighbors(parent) {
+		for _, w := range adj.Arcs(parent) {
 			if used[w] {
 				continue
 			}
-			f := freeDeg(w)
+			f := freeDeg(int(w))
 			if !isLeaf && f < 2 {
 				continue
 			}
-			cands = append(cands, cand{w, f})
+			cands = append(cands, cand{int(w), f})
 		}
 		for i := 1; i < len(cands); i++ {
 			for j := i; j > 0; j-- {
@@ -148,7 +150,9 @@ func Dilation1TreeIntoStar(k int, budget int) (*Embedding, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	host := graph.Materialize(cg)
+	// Materialize the CSR once; every height's Dilation1TreeSearch
+	// call reuses it via the NewCSRFromGraph fast path.
+	host := graph.NewCSRFromCayley(cg)
 	var best *Embedding
 	bestH := -1
 	for h := 1; (1<<(h+1))-1 <= host.Order(); h++ {

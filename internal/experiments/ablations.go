@@ -86,12 +86,13 @@ func AblationRoutingStretch() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		mat := graph.Materialize(cg)
-		n := mat.Order()
+		csr := graph.NewCSRFromCayley(cg)
+		n := csr.Order()
 		maxEm, maxBa := 0.0, 0.0
 		var sumEm, sumBa, sumDist int64
+		var dist []int32
 		for u := 0; u < n; u++ {
-			dist := graph.BFS(mat, u)
+			dist = csr.Distances(u, dist)
 			pu := cg.NodePerm(u)
 			for v := 0; v < n; v++ {
 				if v == u {
@@ -100,18 +101,19 @@ func AblationRoutingStretch() (string, error) {
 				pv := cg.NodePerm(v)
 				em := len(nw.Route(pu, pv))
 				ba := len(nw.RouteBatched(pu, pv))
-				if em < dist[v] || ba < dist[v] {
+				d := int(dist[v])
+				if em < d || ba < d {
 					return "", fmt.Errorf("%s: route shorter than BFS distance", nw.Name())
 				}
-				if s := float64(em) / float64(dist[v]); s > maxEm {
+				if s := float64(em) / float64(d); s > maxEm {
 					maxEm = s
 				}
-				if s := float64(ba) / float64(dist[v]); s > maxBa {
+				if s := float64(ba) / float64(d); s > maxBa {
 					maxBa = s
 				}
 				sumEm += int64(em)
 				sumBa += int64(ba)
-				sumDist += int64(dist[v])
+				sumDist += int64(d)
 			}
 		}
 		fmt.Fprintf(&b, "  %-18s %14.2f %14.2f %12.2f %12.2f\n",

@@ -26,8 +26,8 @@ func Compare() (string, error) {
 	fmt.Fprintf(&b, "  %-20s %2s %8s %4s %5s %8s %9s\n", "network", "k", "N", "deg", "diam", "DL(d,N)", "mean-dist")
 
 	row := func(name string, k int, n int64, deg int, cg *graph.Cayley) error {
-		mat := graph.Materialize(cg)
-		stats := graph.StatsFrom(mat, 0)
+		csr := graph.NewCSRFromCayley(cg)
+		stats := csr.Stats(0)
 		if !stats.Connected {
 			return fmt.Errorf("%s disconnected", name)
 		}

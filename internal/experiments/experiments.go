@@ -572,15 +572,15 @@ func Properties() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		mat := graph.Materialize(cg)
-		stats := graph.StatsFrom(mat, 0)
+		csr := graph.NewCSRFromCayley(cg)
+		stats := csr.Stats(0)
 		if !stats.Connected {
 			return "", fmt.Errorf("%s is not connected", nw.Name())
 		}
 		fmt.Fprintf(&b, "  %-18s %6d %4d %5d %9d %10v %9v\n",
 			nw.Name(), nw.N(), nw.Degree(), stats.Ecc,
 			graph.DiameterLowerBound(nw.Degree(), nw.N()),
-			graph.LooksVertexSymmetric(mat, 8), nw.Directed())
+			csr.LooksVertexSymmetric(8), nw.Directed())
 	}
 	return b.String(), nil
 }

@@ -15,8 +15,7 @@ type Cayley struct {
 	set  *gens.Set
 	k    int
 	n    int64
-	buf  []int
-	pbuf perm.Perm
+	buf  []int // reused by Neighbors; see its doc comment
 }
 
 // NewCayley wraps a generator set.  It refuses graphs with more than
@@ -37,7 +36,6 @@ func NewCayley(name string, set *gens.Set, maxNodes int64) (*Cayley, error) {
 		k:    k,
 		n:    n,
 		buf:  make([]int, set.Len()),
-		pbuf: make(perm.Perm, k),
 	}, nil
 }
 
@@ -53,16 +51,37 @@ func (c *Cayley) K() int { return c.k }
 // Set returns the underlying generator set.
 func (c *Cayley) Set() *gens.Set { return c.set }
 
-// Neighbors returns the Lehmer ranks of v's out-neighbors.  The slice
-// is reused across calls.
+// Neighbors returns the Lehmer ranks of v's out-neighbors.
+//
+// The returned slice AND internal permutation scratch are reused
+// across calls: Neighbors is NOT safe for concurrent use, and callers
+// must not retain the result past the next call.  Concurrent callers
+// (e.g. the parallel CSR materializer) must use NeighborsInto with
+// per-goroutine destination buffers instead.
 func (c *Cayley) Neighbors(v int) []int {
-	p := perm.Unrank(c.k, int64(v))
-	for i := 0; i < c.set.Len(); i++ {
-		c.set.At(i).ApplyInto(c.pbuf, p)
-		c.buf[i] = int(c.pbuf.Rank())
-	}
-	return c.buf
+	return c.NeighborsInto(c.buf, v)
 }
+
+// NeighborsInto writes the Lehmer ranks of v's out-neighbors into dst,
+// which must have length ≥ Degree(), and returns dst[:Degree()].  It
+// performs no heap allocation and touches no shared state, so it is
+// safe for concurrent use with distinct dst buffers — this is the
+// neighbor query the parallel CSR materializer runs on every worker.
+func (c *Cayley) NeighborsInto(dst []int, v int) []int {
+	var pb, qb [perm.MaxK]uint8
+	p := perm.Perm(pb[:c.k])
+	q := perm.Perm(qb[:c.k])
+	perm.UnrankInto(p, int64(v))
+	deg := c.set.Len()
+	for i := 0; i < deg; i++ {
+		c.set.At(i).ApplyInto(q, p)
+		dst[i] = int(q.Rank())
+	}
+	return dst[:deg]
+}
+
+// Degree returns the out-degree (the number of generators).
+func (c *Cayley) Degree() int { return c.set.Len() }
 
 // NodePerm returns the permutation label of node v.
 func (c *Cayley) NodePerm(v int) perm.Perm { return perm.Unrank(c.k, int64(v)) }

@@ -1,0 +1,97 @@
+// Differential tests for the CSR analytics engine against the legacy
+// sequential implementations, over every super Cayley graph family.
+// These live in an external test package so they can instantiate the
+// families via internal/core (which itself imports internal/graph).
+package graph_test
+
+import (
+	"testing"
+
+	"supercayley/internal/core"
+	"supercayley/internal/graph"
+)
+
+// smallNetworks instantiates all ten families of the paper at their
+// smallest sizes (k = 5: l = 2 boxes of n = 2 balls, and IS(5)), the
+// set the acceptance criteria require bit-identical analytics on.
+func smallNetworks(t *testing.T) []*core.Network {
+	t.Helper()
+	nws := make([]*core.Network, 0, len(core.Families))
+	for _, f := range core.Families {
+		if f == core.IS {
+			nw, err := core.NewIS(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nws = append(nws, nw)
+			continue
+		}
+		nws = append(nws, core.MustNew(f, 2, 2))
+	}
+	return nws
+}
+
+func TestCSRAnalyticsMatchLegacyOnAllFamilies(t *testing.T) {
+	for _, nw := range smallNetworks(t) {
+		nw := nw
+		t.Run(nw.Name(), func(t *testing.T) {
+			cg, err := nw.Cayley(45000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mat := graph.Materialize(cg)
+			csr := graph.NewCSRFromCayley(cg)
+
+			if got, want := csr.Diameter(), graph.Diameter(mat); got != want {
+				t.Errorf("Diameter = %d, legacy %d", got, want)
+			}
+			gotMean, gotErr := csr.AverageDistanceExact()
+			wantMean, wantErr := graph.AverageDistanceExact(mat)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("AverageDistanceExact err = %v, legacy %v", gotErr, wantErr)
+			}
+			if gotMean != wantMean {
+				t.Errorf("AverageDistanceExact = %v, legacy %v (must be bit-identical)", gotMean, wantMean)
+			}
+			if got, want := csr.IsUndirected(), graph.IsUndirected(mat); got != want {
+				t.Errorf("IsUndirected = %v, legacy %v", got, want)
+			}
+			if got, want := !nw.Directed(), csr.IsUndirected(); got != want {
+				t.Errorf("IsUndirected = %v, network declares directed=%v", want, nw.Directed())
+			}
+			for _, sample := range []int{2, 8} {
+				if got, want := csr.LooksVertexSymmetric(sample), graph.LooksVertexSymmetric(mat, sample); got != want {
+					t.Errorf("LooksVertexSymmetric(%d) = %v, legacy %v", sample, got, want)
+				}
+			}
+			if got, want := csr.EdgeCount(), graph.CountEdges(mat); got != want {
+				t.Errorf("EdgeCount = %d, legacy %d", got, want)
+			}
+		})
+	}
+}
+
+// TestCSRParallelDeterministic runs the parallel drivers twice on a
+// mid-size instance and demands identical outputs — the deterministic
+// reduction contract of the worker pool.
+func TestCSRParallelDeterministic(t *testing.T) {
+	nw := core.MustNew(core.MS, 3, 2) // k = 7, 5040 nodes
+	cg, err := nw.Cayley(45000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := graph.NewCSRFromCayley(cg)
+	d1 := csr.Diameter()
+	m1, err1 := csr.AverageDistanceExact()
+	d2 := csr.Diameter()
+	m2, err2 := csr.AverageDistanceExact()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unexpected errors %v %v", err1, err2)
+	}
+	if d1 != d2 || m1 != m2 {
+		t.Fatalf("parallel drivers not deterministic: (%d,%v) vs (%d,%v)", d1, m1, d2, m2)
+	}
+	if !csr.LooksVertexSymmetric(8) {
+		t.Fatal("MS(3,2) should look vertex-symmetric")
+	}
+}

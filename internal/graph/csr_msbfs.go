@@ -1,0 +1,154 @@
+package graph
+
+import "math/bits"
+
+// Multi-source bit-parallel BFS (MS-BFS): the all-sources engine.
+//
+// Running one BFS per source reads the whole edge array once per
+// source — N passes of O(M) — and that memory traffic, not the
+// per-node arithmetic, is what makes exhaustive diameter and mean
+// distance computations slow at k! scale.  MS-BFS amortizes it by
+// advancing 64 sources together: each node carries a 64-bit visited
+// mask (bit i set ⇔ reached from source i), and one pass over the
+// active nodes' arcs per level ORs frontier masks into neighbors.
+// The edge array is then read once per LEVEL per batch of 64 sources
+// instead of once per source, and the per-arc work is a single
+// 64-wide AND-NOT/OR.  Per-source eccentricities, distance sums, and
+// reach counts fall out of the set bits as each level settles.
+
+// msScratch is the per-worker state for one 64-source batch: visited,
+// current-frontier and next-frontier masks per node, plus the active
+// node lists.
+type msScratch struct {
+	vis  []uint64
+	cur  []uint64
+	nxt  []uint64
+	list []int32 // nodes with cur != 0
+	next []int32 // nodes with nxt != 0
+}
+
+func (c *CSR) newMSScratch() *msScratch {
+	n := c.Order()
+	return &msScratch{
+		vis:  make([]uint64, n),
+		cur:  make([]uint64, n),
+		nxt:  make([]uint64, n),
+		list: make([]int32, 0, n),
+		next: make([]int32, 0, n),
+	}
+}
+
+// msResult accumulates per-source statistics for one batch.
+type msResult struct {
+	ecc     [64]int32
+	sum     [64]int64
+	reached [64]int32
+}
+
+// msbfs runs one bit-parallel BFS over the ≤64 sources srcs, filling
+// res with each source's eccentricity, sum of finite distances, and
+// reached-node count (including the source itself).
+func (c *CSR) msbfs(srcs []int32, s *msScratch, res *msResult) {
+	vis, cur, nxt := s.vis, s.cur, s.nxt
+	for i := range vis {
+		vis[i] = 0
+		cur[i] = 0
+		// nxt is left zeroed by the previous run's settle phase.
+	}
+	*res = msResult{}
+	list := s.list[:0]
+	for i, src := range srcs {
+		bit := uint64(1) << uint(i)
+		if vis[src] == 0 && cur[src] == 0 {
+			list = append(list, src)
+		}
+		vis[src] |= bit
+		cur[src] |= bit
+		res.reached[i] = 1
+	}
+	edges, offsets := c.edges, c.offsets
+	next := s.next[:0]
+	for depth := int32(1); len(list) > 0; depth++ {
+		next = next[:0]
+		for _, v := range list {
+			fm := cur[v]
+			cur[v] = 0
+			for _, w := range edges[offsets[v]:offsets[v+1]] {
+				if d := fm &^ vis[w]; d != 0 {
+					if nxt[w] == 0 {
+						next = append(next, w)
+					}
+					nxt[w] |= d
+				}
+			}
+		}
+		// Settle the level: commit new visits, account per source.
+		for _, w := range next {
+			newBits := nxt[w] &^ vis[w]
+			nxt[w] = 0
+			if newBits == 0 {
+				continue
+			}
+			vis[w] |= newBits
+			cur[w] = newBits
+			for b := newBits; b != 0; b &= b - 1 {
+				i := bits.TrailingZeros64(b)
+				res.ecc[i] = depth
+				res.sum[i] += int64(depth)
+				res.reached[i]++
+			}
+		}
+		list, next = next, list
+	}
+	s.list, s.next = list, next
+}
+
+// allSources sweeps every node as a BFS source using batches of 64
+// across the worker pool and returns the graph's diameter, the total
+// sum of all finite pairwise distances, and whether every sweep
+// reached every node.  Batches are formed deterministically
+// (sources 64b..64b+63 form batch b) and per-worker partials are
+// reduced in worker order, so results do not depend on scheduling.
+func (c *CSR) allSources() (diam int, total int64, connected bool) {
+	n := c.Order()
+	if n == 0 {
+		return 0, 0, true
+	}
+	batches := (n + 63) / 64
+	workers := Parallelism(batches)
+	eccs := make([]int32, workers)
+	sums := make([]int64, workers)
+	unreached := make([]bool, workers)
+	parallelChunks(batches, func(worker, lo, hi int) {
+		s := c.newMSScratch()
+		var res msResult
+		srcs := make([]int32, 0, 64)
+		for b := lo; b < hi; b++ {
+			srcs = srcs[:0]
+			for v := b * 64; v < (b+1)*64 && v < n; v++ {
+				srcs = append(srcs, int32(v))
+			}
+			c.msbfs(srcs, s, &res)
+			for i := range srcs {
+				if res.reached[i] != int32(n) {
+					unreached[worker] = true
+				}
+				if res.ecc[i] > eccs[worker] {
+					eccs[worker] = res.ecc[i]
+				}
+				sums[worker] += res.sum[i]
+			}
+		}
+	})
+	connected = true
+	for w := 0; w < workers; w++ {
+		if unreached[w] {
+			connected = false
+		}
+		if int(eccs[w]) > diam {
+			diam = int(eccs[w])
+		}
+		total += sums[w]
+	}
+	return diam, total, connected
+}

@@ -72,6 +72,12 @@ func Materialize(g Graph) *Adjacency {
 
 // BFS runs breadth-first search from src and returns the distance
 // slice (-1 for unreachable nodes).
+//
+// BFS, Diameter, AverageDistanceExact, DegreeProfile and friends in
+// this file are the sequential reference implementations, kept as a
+// compatibility layer and as the differential-test oracle.  Repeated
+// or large-scale analytics should materialize a CSR (NewCSRFromCayley
+// / NewCSRFromGraph) and use its allocation-lean parallel drivers.
 func BFS(g Graph, src int) []int {
 	n := g.Order()
 	dist := make([]int, n)
@@ -280,7 +286,7 @@ func MeanDistanceLowerBound(d int, n int64) float64 {
 		return 0
 	}
 	var sum float64
-	var placed, level int64 = 0, 1
+	level := int64(1)
 	remaining := n - 1
 	for depth := 1; remaining > 0; depth++ {
 		level *= int64(d)
@@ -288,9 +294,7 @@ func MeanDistanceLowerBound(d int, n int64) float64 {
 			level = remaining
 		}
 		sum += float64(level) * float64(depth)
-		placed += level
 		remaining -= level
-		_ = placed
 	}
 	return sum / float64(n-1)
 }

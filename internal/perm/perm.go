@@ -219,16 +219,23 @@ func Parse(s string) (Perm, error) {
 	return New(syms...)
 }
 
+// factorials caches 0!..MaxK! so rank arithmetic on the enumeration
+// hot path (Rank, Unrank, UnrankInto) never recomputes them.
+var factorials = func() [MaxK + 1]int64 {
+	var t [MaxK + 1]int64
+	t[0] = 1
+	for i := 1; i <= MaxK; i++ {
+		t[i] = t[i-1] * int64(i)
+	}
+	return t
+}()
+
 // Factorial returns n! as int64.  Panics for n > 20.
 func Factorial(n int) int64 {
 	if n < 0 || n > MaxK {
 		panic(fmt.Sprintf("perm: Factorial(%d) out of range", n))
 	}
-	f := int64(1)
-	for i := 2; i <= n; i++ {
-		f *= int64(i)
-	}
-	return f
+	return factorials[n]
 }
 
 // Rank returns the Lehmer (factorial-number-system) rank of p in
@@ -244,7 +251,7 @@ func (p Perm) Rank() int64 {
 				smaller++
 			}
 		}
-		rank += int64(smaller) * Factorial(k-1-i)
+		rank += int64(smaller) * factorials[k-1-i]
 	}
 	return rank
 }
@@ -252,25 +259,36 @@ func (p Perm) Rank() int64 {
 // Unrank returns the permutation on k symbols with the given Lehmer
 // rank (inverse of Rank).
 func Unrank(k int, rank int64) Perm {
+	p := make(Perm, k)
+	UnrankInto(p, rank)
+	return p
+}
+
+// UnrankInto writes the permutation with the given Lehmer rank into p
+// (whose length determines k) without allocating.  It is safe for
+// concurrent use with distinct destination buffers and is the
+// workhorse of the parallel CSR materializer in internal/graph.
+func UnrankInto(p Perm, rank int64) {
+	k := len(p)
 	if k < 1 || k > MaxK {
-		panic(fmt.Sprintf("perm: Unrank k=%d out of range", k))
+		panic(fmt.Sprintf("perm: UnrankInto k=%d out of range", k))
 	}
-	if rank < 0 || rank >= Factorial(k) {
-		panic(fmt.Sprintf("perm: Unrank rank=%d out of range for k=%d", rank, k))
+	if rank < 0 || rank >= factorials[k] {
+		panic(fmt.Sprintf("perm: UnrankInto rank=%d out of range for k=%d", rank, k))
 	}
-	avail := make([]uint8, k)
-	for i := range avail {
+	var avail [MaxK]uint8
+	for i := 0; i < k; i++ {
 		avail[i] = uint8(i + 1)
 	}
-	p := make(Perm, k)
+	remaining := k
 	for i := 0; i < k; i++ {
-		f := Factorial(k - 1 - i)
-		idx := rank / f
+		f := factorials[k-1-i]
+		idx := int(rank / f)
 		rank %= f
 		p[i] = avail[idx]
-		avail = append(avail[:idx], avail[idx+1:]...)
+		copy(avail[idx:remaining-1], avail[idx+1:remaining])
+		remaining--
 	}
-	return p
 }
 
 // Random returns a uniformly random permutation of 1..k drawn from r.
