@@ -27,4 +27,13 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+# The fault-injection sweep fans pair walks out over a worker pool;
+# hammer it specifically under the race detector with more iterations.
+echo "== go test -race ./internal/sim (fault layer)"
+go test -race -count=2 ./internal/sim/...
+
+echo "== fuzz smoke"
+go test -run='^$' -fuzz=FuzzLehmerRoundTrip -fuzztime=10s ./internal/perm
+go test -run='^$' -fuzz=FuzzRouteDelivers -fuzztime=10s ./internal/core
+
 echo "ci: all checks passed"

@@ -11,6 +11,7 @@
 //	scg embed    -family IS -k 5 -guest star
 //	scg bag      -family MS -l 2 -n 2 -seed 7
 //	scg tasks    -family MS -l 2 -n 2 -task mnb -model all-port
+//	scg faults   -family MS -l 3 -n 2 -mode random -nodefrac 0.05 -linkfrac 0.05
 package main
 
 import (
@@ -51,6 +52,8 @@ func main() {
 		err = cmdBag(args)
 	case "tasks":
 		err = cmdTasks(args)
+	case "faults":
+		err = cmdFaults(args)
 	case "export":
 		err = cmdExport(args)
 	case "compare":
@@ -78,6 +81,7 @@ commands:
   embed     measure an embedding (Theorems 6–7, Corollaries 4–7)
   bag       solve a scrambled ball-arrangement game
   tasks     simulate MNB / TE communication tasks (Corollaries 2–3)
+  faults    inject node/link faults, reroute adaptively, report degradation
   export    write the network as Graphviz DOT
   compare   degree/diameter table across families and k
 
@@ -334,6 +338,60 @@ func cmdTasks(args []string) error {
 			return err
 		}
 		fmt.Println(rep)
+	default:
+		return fmt.Errorf("unknown task %q", *task)
+	}
+	return nil
+}
+
+func cmdFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	nf := addNetFlags(fs)
+	mode := fs.String("mode", "random", "fault mode: random, targeted, region")
+	nodeFrac := fs.Float64("nodefrac", 0.05, "fraction of nodes to kill")
+	linkFrac := fs.Float64("linkfrac", 0, "fraction of directed links to kill")
+	seed := fs.Int64("seed", 1, "fault-plan and pair-sample seed")
+	onset := fs.Int("onset", 0, "round at which the faults strike")
+	pairs := fs.Int("pairs", 1000, "routed (src, dst) pairs (route task)")
+	task := fs.String("task", "route", "task: route or mnb")
+	model := fs.String("model", "all-port", "MNB model: all-port, single-port, sdc")
+	fs.Parse(args)
+	nw, err := nf.network()
+	if err != nil {
+		return err
+	}
+	fm, err := sim.ParseFaultMode(*mode)
+	if err != nil {
+		return err
+	}
+	spec := sim.FaultSpec{Mode: fm, Seed: *seed, NodeFrac: *nodeFrac, LinkFrac: *linkFrac, Onset: *onset}
+	switch *task {
+	case "route":
+		rep, err := comm.RunFaultSweep(nw, spec, *pairs, *seed, sim.ReroutePolicy{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan:  %s\n", rep.Plan)
+		fmt.Printf("sweep: %v\n", rep.SweepResult)
+		fmt.Printf("graph: %v\n", rep.SweepResult.Survivors)
+	case "mnb":
+		var m sim.Model
+		switch *model {
+		case "all-port":
+			m = sim.AllPort
+		case "single-port":
+			m = sim.SinglePort
+		case "sdc":
+			m = sim.SDC
+		default:
+			return fmt.Errorf("unknown model %q", *model)
+		}
+		rep, err := comm.RunFaultyMNB(nw, m, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan: %s\n", rep.Plan)
+		fmt.Printf("mnb:  %v\n", rep.FaultyMNBResult)
 	default:
 		return fmt.Errorf("unknown task %q", *task)
 	}

@@ -9,7 +9,6 @@ import (
 	"fmt"
 
 	"supercayley/internal/core"
-	"supercayley/internal/graph"
 	"supercayley/internal/perm"
 	"supercayley/internal/schedule"
 	"supercayley/internal/sim"
@@ -209,16 +208,6 @@ func EmulatedMNB(nw *core.Network, model sim.Model) (starRounds, slowdown, emula
 // others times N (exact for vertex-symmetric graphs), used by the TE
 // lower bound.
 func SumDistances(nt *sim.Net) int64 {
-	n, ports := nt.N(), nt.Ports()
-	offsets := make([]int64, n+1)
-	edges := make([]int32, int64(n)*int64(ports))
-	for v := 0; v < n; v++ {
-		offsets[v+1] = offsets[v] + int64(ports)
-		for p := 0; p < ports; p++ {
-			edges[int64(v)*int64(ports)+int64(p)] = int32(nt.Neighbor(v, p))
-		}
-	}
-	g := graph.NewCSR(nt.Name(), offsets, edges)
-	s := g.Stats(0)
-	return s.DistCounted * int64(n)
+	s := nt.CSR().Stats(0)
+	return s.DistCounted * int64(nt.N())
 }

@@ -1,0 +1,116 @@
+package comm
+
+import (
+	"testing"
+
+	"supercayley/internal/core"
+	"supercayley/internal/sim"
+)
+
+// familiesAtK5 enumerates all ten families at k = 5 (N = 120).
+func familiesAtK5(t *testing.T) []*core.Network {
+	t.Helper()
+	nws := make([]*core.Network, 0, len(core.Families))
+	for _, f := range core.Families {
+		if f == core.IS {
+			nw, err := core.NewIS(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nws = append(nws, nw)
+			continue
+		}
+		nws = append(nws, core.MustNew(f, 2, 2))
+	}
+	return nws
+}
+
+func TestMNBFaultyEmptyPlanBitIdenticalAcrossFamilies(t *testing.T) {
+	// Differential check: the fault-aware broadcast with an empty plan
+	// must replay the legacy broadcast round for round on every family
+	// — identical rounds, sends and link statistics.
+	for _, nw := range familiesAtK5(t) {
+		nt, err := SCGNet(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := sim.NewFaultPlan(nt, sim.FaultSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.Empty() {
+			t.Fatalf("%s: zero spec must give the empty plan", nw.Name())
+		}
+		for _, model := range []sim.Model{sim.AllPort, sim.SDC} {
+			legacy, err := sim.MNBWithPolicy(nt, model, sim.RotatingScan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulty, err := sim.MNBFaulty(nt, model, sim.RotatingScan, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if faulty.Rounds != legacy.Rounds || faulty.Sends != legacy.Sends || faulty.LinkStats != legacy.LinkStats {
+				t.Fatalf("%s under %v: empty-plan broadcast diverges from legacy:\nlegacy %+v\nfaulty %+v",
+					nw.Name(), model, legacy, faulty)
+			}
+			if faulty.Coverage != 1.0 || faulty.Stalled {
+				t.Fatalf("%s under %v: empty plan must complete fully: %+v", nw.Name(), model, faulty)
+			}
+		}
+	}
+}
+
+func TestRouteSweepEmptyPlanExactAcrossFamilies(t *testing.T) {
+	// With no faults the adaptive walker must reproduce the fault-free
+	// emulation routes exactly on every family: full delivery, stretch
+	// exactly 1, zero detours.
+	for _, nw := range familiesAtK5(t) {
+		nt, err := SCGNet(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RouteSweep(nt, SCGRouter(nw), nil, 300, 11, sim.ReroutePolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DeliveredFraction != 1.0 {
+			t.Fatalf("%s: empty plan delivered %.4f, want 1", nw.Name(), res.DeliveredFraction)
+		}
+		// Stretch can dip below 1: an emulation route may pass through
+		// the destination mid-expansion and the walker stops there.  It
+		// must never exceed 1 without faults.
+		if res.MeanStretch > 1.0 || res.MaxStretch > 1.0 {
+			t.Fatalf("%s: empty plan stretch %v/%v must not exceed 1", nw.Name(), res.MeanStretch, res.MaxStretch)
+		}
+		if res.Detours != 0 || res.Aborted != 0 || res.Unreachable != 0 {
+			t.Fatalf("%s: empty plan must not detour or fail: %v", nw.Name(), res)
+		}
+		if !res.Survivors.Connected || res.Survivors.Alive != nt.N() {
+			t.Fatalf("%s: empty plan survivor report wrong: %v", nw.Name(), res.Survivors)
+		}
+	}
+}
+
+func TestFaultSweepDeliversUnderModestFaults(t *testing.T) {
+	// Sanity on the end-to-end path used by `scg faults` and the R1
+	// experiment: modest random faults still deliver most pairs on
+	// every family, and the reports are deterministic.
+	for _, nw := range familiesAtK5(t) {
+		spec := sim.FaultSpec{Mode: sim.FaultRandom, Seed: 13, NodeFrac: 0.05, LinkFrac: 0.05}
+		a, err := RunFaultSweep(nw, spec, 300, 17, sim.ReroutePolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunFaultSweep(nw, spec, 300, 17, sim.ReroutePolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%s: fault sweep not deterministic:\n%v\n%v", nw.Name(), a, b)
+		}
+		if a.DeliveredFraction < 0.5 {
+			t.Fatalf("%s: 5%% faults should not halve delivery: %v", nw.Name(), a)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"supercayley/internal/perm"
+)
+
+// FuzzRouteDelivers drives the star-emulation router with arbitrary
+// (family, parameters, src, dst) inputs: the route must consist only
+// of set generators, reach the destination, and respect the
+// MaxDilation × star-distance bound of Theorems 1–3.
+func FuzzRouteDelivers(f *testing.F) {
+	f.Add(uint(0), uint(2), uint(2), uint64(0), uint64(1))
+	f.Add(uint(1), uint(3), uint(2), uint64(17), uint64(4711))
+	f.Add(uint(2), uint(2), uint(3), uint64(5039), uint64(0))
+	f.Add(uint(3), uint(2), uint(2), uint64(3), uint64(99))
+	f.Add(uint(6), uint(0), uint(7), uint64(1234), uint64(1235))
+	f.Add(uint(7), uint(4), uint(2), uint64(12345), uint64(54321))
+	f.Add(uint(9), uint(2), uint(2), uint64(42), uint64(24))
+	f.Fuzz(func(t *testing.T, famRaw, lRaw, nRaw uint, srcRaw, dstRaw uint64) {
+		fam := Families[famRaw%uint(len(Families))]
+		var nw *Network
+		var err error
+		if fam == IS {
+			k := int(nRaw%7) + 3 // 3..9
+			nw, err = NewIS(k)
+		} else {
+			l := int(lRaw%3) + 2 // 2..4
+			n := int(nRaw%3) + 1 // 1..3
+			if n*l+1 > 9 {
+				t.Skip("instance too large for exhaustive hop walking")
+			}
+			nw, err = New(fam, l, n)
+		}
+		if err != nil {
+			t.Fatalf("constructing %v: %v", fam, err)
+		}
+		k := nw.K()
+		total := uint64(perm.Factorial(k))
+		u := perm.Unrank(k, int64(srcRaw%total))
+		v := perm.Unrank(k, int64(dstRaw%total))
+
+		seq := nw.Route(u, v)
+		if bound := nw.MaxDilation() * nw.Star().Distance(u, v); len(seq) > bound {
+			t.Fatalf("route on %s from %v to %v has %d hops, bound %d",
+				nw.Name(), u, v, len(seq), bound)
+		}
+		cur := u.Clone()
+		for i, g := range seq {
+			if nw.Set().Index(g) < 0 {
+				t.Fatalf("route hop %d on %s uses %s, not a generator of the set",
+					i, nw.Name(), g.Name())
+			}
+			cur = g.Apply(cur)
+		}
+		if !cur.Equal(v) {
+			t.Fatalf("route on %s from %v ends at %v, want %v", nw.Name(), u, cur, v)
+		}
+	})
+}

@@ -49,6 +49,8 @@ func All() []Experiment {
 		{"E1", "Emulation replay: Theorems 1-5 executed on the simulator", EmulationReplay},
 		{"E2", "Pipelined SDC emulation: slowdown 2 (MS) and 1 (IS) under heavy traffic", PipelinedEmulation},
 		{"P3", "Section 1: degree/diameter comparison across families and k", Compare},
+		{"R1", "Fault injection: adaptive rerouting degradation vs fault rate", FaultSweeps},
+		{"R2", "Fault injection: multinode broadcast coverage under faults", FaultyBroadcast},
 	}
 }
 

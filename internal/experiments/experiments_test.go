@@ -37,7 +37,7 @@ func TestAllHaveUniqueIDs(t *testing.T) {
 // The heavy simulations (C2, C3, A4) are exercised by their own
 // packages and by cmd/experiments.
 func TestFastExperimentsRun(t *testing.T) {
-	fast := []string{"F1a", "F1b", "T1", "T2", "T3", "T4", "T5", "C1", "T6", "T7", "C4", "C5", "C6", "C7", "P1", "P2", "P3", "P4", "E1", "E2", "A2", "A3", "A5", "A6"}
+	fast := []string{"F1a", "F1b", "T1", "T2", "T3", "T4", "T5", "C1", "T6", "T7", "C4", "C5", "C6", "C7", "P1", "P2", "P3", "P4", "E1", "E2", "A2", "A3", "A5", "A6", "R2"}
 	for _, id := range fast {
 		e, ok := Lookup(id)
 		if !ok {

@@ -113,3 +113,37 @@ func TestQuickSwapCommutesWithDisjointSwap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuickApplyIntoMatchesNaiveApply(t *testing.T) {
+	// Property: ApplyInto equals both Apply and the naive definition
+	// q[i] = p[pi[i]-1] from the generator's position permutation, for
+	// every generator kind at sizes up to perm.MaxK.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 3 + r.Intn(perm.MaxK-2)
+		var g Generator
+		switch r.Intn(4) {
+		case 0:
+			g = Transposition(k, 2+r.Intn(k-1))
+		case 1:
+			i := 1 + r.Intn(k-1)
+			g = TranspositionIJ(k, i, i+1+r.Intn(k-i))
+		case 2:
+			g = Insertion(k, 2+r.Intn(k-1))
+		default:
+			g = Selection(k, 2+r.Intn(k-1))
+		}
+		p := perm.Random(r, k)
+		dst := make(perm.Perm, k)
+		g.ApplyInto(dst, p)
+		pi := g.Pi()
+		naive := make(perm.Perm, k)
+		for i := range naive {
+			naive[i] = p[pi[i]-1]
+		}
+		return dst.Equal(naive) && dst.Equal(g.Apply(p))
+	}
+	if err := quick.Check(f, quickCfg(9)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Reachability under vertex and edge deletion: the fault-tolerance
+// backbone.  A fault set (dead nodes, dead arcs) induces the survivor
+// subgraph; the questions the fault simulator asks — which survivors
+// can still reach which, how large is the largest reachable set, is
+// the survivor graph still strongly connected — are answered here by
+// masked variants of the 64-source bit-parallel BFS kernel of
+// csr_msbfs.go.  Dead nodes never enter a frontier and dead arcs are
+// skipped during relaxation, so one pass over the live arcs per level
+// serves 64 sources, exactly as in the fault-free engine.
+
+// ArcDownFunc reports whether the i-th out-arc of node v is deleted
+// (i indexes into Arcs(v), matching the port order of Cayley
+// materializations).  A nil ArcDownFunc means no arc faults.
+type ArcDownFunc func(v, i int) bool
+
+// msbfsUnder is msbfs restricted to the survivor subgraph: sources
+// must be alive; dead nodes are never visited and arcs with
+// arcDown(v, i) true are skipped.  With dead == nil and arcDown == nil
+// it visits exactly what msbfs visits.
+func (c *CSR) msbfsUnder(srcs []int32, s *msScratch, res *msResult, dead []bool, arcDown ArcDownFunc) {
+	vis, cur, nxt := s.vis, s.cur, s.nxt
+	for i := range vis {
+		vis[i] = 0
+		cur[i] = 0
+	}
+	*res = msResult{}
+	list := s.list[:0]
+	for i, src := range srcs {
+		bit := uint64(1) << uint(i)
+		if vis[src] == 0 && cur[src] == 0 {
+			list = append(list, src)
+		}
+		vis[src] |= bit
+		cur[src] |= bit
+		res.reached[i] = 1
+	}
+	edges, offsets := c.edges, c.offsets
+	next := s.next[:0]
+	for depth := int32(1); len(list) > 0; depth++ {
+		next = next[:0]
+		for _, v := range list {
+			fm := cur[v]
+			cur[v] = 0
+			row := edges[offsets[v]:offsets[v+1]]
+			for i, w := range row {
+				if dead != nil && dead[w] {
+					continue
+				}
+				if arcDown != nil && arcDown(int(v), i) {
+					continue
+				}
+				if d := fm &^ vis[w]; d != 0 {
+					if nxt[w] == 0 {
+						next = append(next, w)
+					}
+					nxt[w] |= d
+				}
+			}
+		}
+		for _, w := range next {
+			newBits := nxt[w] &^ vis[w]
+			nxt[w] = 0
+			if newBits == 0 {
+				continue
+			}
+			vis[w] |= newBits
+			cur[w] = newBits
+			for b := newBits; b != 0; b &= b - 1 {
+				i := bits.TrailingZeros64(b)
+				res.ecc[i] = depth
+				res.sum[i] += int64(depth)
+				res.reached[i]++
+			}
+		}
+		list, next = next, list
+	}
+	s.list, s.next = list, next
+}
+
+// SurvivorStats summarizes directed reachability among the survivors
+// of a fault set.
+type SurvivorStats struct {
+	// Survivors is the number of live nodes.
+	Survivors int
+	// ReachablePairs counts ordered survivor pairs (u, v), u ≠ v,
+	// with v reachable from u inside the survivor subgraph.
+	ReachablePairs int64
+	// LargestReach is the largest reachable set of any single live
+	// source (including the source itself).
+	LargestReach int
+	// Connected reports whether every survivor reaches every other
+	// (ReachablePairs == Survivors·(Survivors−1)).
+	Connected bool
+}
+
+// ReachableFraction returns ReachablePairs over the total ordered
+// survivor pairs, 1 for an intact or single-node survivor set.
+func (s SurvivorStats) ReachableFraction() float64 {
+	total := int64(s.Survivors) * int64(s.Survivors-1)
+	if total <= 0 {
+		return 1
+	}
+	return float64(s.ReachablePairs) / float64(total)
+}
+
+// SurvivorStatsUnder sweeps every live node as a masked MS-BFS source
+// (64 per batch across the worker pool) and reduces per-worker
+// partials in worker order, so the result is independent of
+// GOMAXPROCS.  dead may be nil (no node faults); len(dead), when non
+// nil, must equal Order().
+func (c *CSR) SurvivorStatsUnder(dead []bool, arcDown ArcDownFunc) SurvivorStats {
+	n := c.Order()
+	if dead != nil && len(dead) != n {
+		panic(fmt.Sprintf("graph: SurvivorStatsUnder dead mask has %d entries, want %d", len(dead), n))
+	}
+	live := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if dead == nil || !dead[v] {
+			live = append(live, int32(v))
+		}
+	}
+	st := SurvivorStats{Survivors: len(live)}
+	if len(live) == 0 {
+		st.Connected = true
+		return st
+	}
+	batches := (len(live) + 63) / 64
+	workers := Parallelism(batches)
+	pairs := make([]int64, workers)
+	largest := make([]int, workers)
+	parallelChunks(batches, func(worker, lo, hi int) {
+		s := c.newMSScratch()
+		var res msResult
+		srcs := make([]int32, 0, 64)
+		for b := lo; b < hi; b++ {
+			srcs = srcs[:0]
+			for i := b * 64; i < (b+1)*64 && i < len(live); i++ {
+				srcs = append(srcs, live[i])
+			}
+			c.msbfsUnder(srcs, s, &res, dead, arcDown)
+			for i := range srcs {
+				reached := int(res.reached[i])
+				pairs[worker] += int64(reached - 1)
+				if reached > largest[worker] {
+					largest[worker] = reached
+				}
+			}
+		}
+	})
+	for w := 0; w < workers; w++ {
+		st.ReachablePairs += pairs[w]
+		if largest[w] > st.LargestReach {
+			st.LargestReach = largest[w]
+		}
+	}
+	st.Connected = st.ReachablePairs == int64(st.Survivors)*int64(st.Survivors-1)
+	return st
+}
+
+// ReachableUnder returns the set of nodes reachable from src in the
+// survivor subgraph (including src itself; nil if src is dead).
+func (c *CSR) ReachableUnder(src int, dead []bool, arcDown ArcDownFunc) []bool {
+	n := c.Order()
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("graph: ReachableUnder src %d out of range [0,%d)", src, n))
+	}
+	if dead != nil && dead[src] {
+		return nil
+	}
+	s := c.newMSScratch()
+	var res msResult
+	c.msbfsUnder([]int32{int32(src)}, s, &res, dead, arcDown)
+	out := make([]bool, n)
+	for v := range out {
+		out[v] = s.vis[v] != 0
+	}
+	return out
+}
+
+// ReachMatrix is a dense n×n reachability bit matrix: At(u, v)
+// reports whether v is reachable from u.  Rows of dead sources are
+// all-zero.
+type ReachMatrix struct {
+	n     int
+	words int
+	bits  []uint64
+}
+
+// At reports whether v is reachable from u.
+func (m *ReachMatrix) At(u, v int) bool {
+	return m.bits[u*m.words+v>>6]&(1<<uint(v&63)) != 0
+}
+
+// CountFrom returns the number of nodes reachable from u (including
+// u itself when u is alive).
+func (m *ReachMatrix) CountFrom(u int) int {
+	row := m.bits[u*m.words : (u+1)*m.words]
+	total := 0
+	for _, w := range row {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// MaxReachMatrixNodes bounds the dense reachability matrix: beyond
+// ~16k nodes the n² bits outgrow the caches the masked BFS relies on
+// (8! would already need 203 MB).  Callers above the bound should use
+// per-source ReachableUnder sweeps instead.
+const MaxReachMatrixNodes = 16384
+
+// ReachMatrixUnder computes the full survivor reachability matrix
+// with batched masked MS-BFS.  Batches write disjoint row ranges, so
+// the parallel fill is race-free and the result deterministic.
+func (c *CSR) ReachMatrixUnder(dead []bool, arcDown ArcDownFunc) (*ReachMatrix, error) {
+	n := c.Order()
+	if n > MaxReachMatrixNodes {
+		return nil, fmt.Errorf("graph: reachability matrix on %d nodes exceeds limit %d", n, MaxReachMatrixNodes)
+	}
+	if dead != nil && len(dead) != n {
+		return nil, fmt.Errorf("graph: ReachMatrixUnder dead mask has %d entries, want %d", len(dead), n)
+	}
+	words := (n + 63) / 64
+	m := &ReachMatrix{n: n, words: words, bits: make([]uint64, n*words)}
+	live := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if dead == nil || !dead[v] {
+			live = append(live, int32(v))
+		}
+	}
+	if len(live) == 0 {
+		return m, nil
+	}
+	batches := (len(live) + 63) / 64
+	parallelChunks(batches, func(_, lo, hi int) {
+		s := c.newMSScratch()
+		var res msResult
+		srcs := make([]int32, 0, 64)
+		for b := lo; b < hi; b++ {
+			srcs = srcs[:0]
+			for i := b * 64; i < (b+1)*64 && i < len(live); i++ {
+				srcs = append(srcs, live[i])
+			}
+			c.msbfsUnder(srcs, s, &res, dead, arcDown)
+			for v := 0; v < n; v++ {
+				vb := s.vis[v]
+				if vb == 0 {
+					continue
+				}
+				for b := vb; b != 0; b &= b - 1 {
+					i := bits.TrailingZeros64(b)
+					src := int(srcs[i])
+					m.bits[src*words+v>>6] |= 1 << uint(v&63)
+				}
+			}
+		}
+	})
+	return m, nil
+}

@@ -1,0 +1,54 @@
+package perm
+
+import (
+	"testing"
+)
+
+// FuzzLehmerRoundTrip drives the Lehmer-code machinery with arbitrary
+// (k, rank) inputs: Unrank/Rank must round-trip, UnrankInto must agree
+// with Unrank, and the Lehmer digits must reconstruct the permutation.
+func FuzzLehmerRoundTrip(f *testing.F) {
+	f.Add(uint(1), uint64(0))
+	f.Add(uint(5), uint64(0))
+	f.Add(uint(5), uint64(119))
+	f.Add(uint(8), uint64(40319))
+	f.Add(uint(13), uint64(6227020799))
+	f.Add(uint(20), uint64(2432902008176639999))
+	f.Fuzz(func(t *testing.T, kRaw uint, rankRaw uint64) {
+		k := int(kRaw%MaxK) + 1 // 1..MaxK
+		total := Factorial(k)
+		rank := int64(rankRaw % uint64(total))
+
+		p := Unrank(k, rank)
+		if !p.Valid() {
+			t.Fatalf("Unrank(%d, %d) = %v: not a permutation", k, rank, p)
+		}
+		if got := p.Rank(); got != rank {
+			t.Fatalf("Rank(Unrank(%d, %d)) = %d", k, rank, got)
+		}
+
+		buf := make(Perm, k)
+		UnrankInto(buf, rank)
+		if !buf.Equal(p) {
+			t.Fatalf("UnrankInto(%d, %d) = %v, Unrank = %v", k, rank, buf, p)
+		}
+
+		digits := p.LehmerDigits()
+		for i, d := range digits {
+			if d < 0 || d > k-1-i {
+				t.Fatalf("LehmerDigits(%v)[%d] = %d out of range [0,%d]", p, i, d, k-1-i)
+			}
+		}
+		q, err := FromLehmerDigits(digits)
+		if err != nil {
+			t.Fatalf("FromLehmerDigits(%v): %v", digits, err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("FromLehmerDigits(LehmerDigits(%v)) = %v", p, q)
+		}
+
+		if !p.Inverse().Compose(p).IsIdentity() {
+			t.Fatalf("p⁻¹∘p != id for %v", p)
+		}
+	})
+}

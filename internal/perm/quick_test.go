@@ -83,3 +83,53 @@ func TestFromLehmerDigitsErrors(t *testing.T) {
 		t.Error("negative digit accepted")
 	}
 }
+
+func TestQuickUnrankIntoRoundTrip(t *testing.T) {
+	// Property: UnrankInto(buf, Rank(p)) == p at every k up to MaxK,
+	// with the destination buffer reused across iterations.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(MaxK)
+		p := Random(r, k)
+		buf := make(Perm, k)
+		for i := range buf {
+			buf[i] = uint8(1 + (i+1)%k) // poison: not the identity
+		}
+		UnrankInto(buf, p.Rank())
+		return buf.Equal(p)
+	}
+	if err := quick.Check(f, quickCfg(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInverseIdentities(t *testing.T) {
+	// Property: p⁻¹∘p == p∘p⁻¹ == id and (p⁻¹)⁻¹ == p.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(MaxK)
+		p := Random(r, k)
+		inv := p.Inverse()
+		return inv.Compose(p).IsIdentity() &&
+			p.Compose(inv).IsIdentity() &&
+			inv.Inverse().Equal(p)
+	}
+	if err := quick.Check(f, quickCfg(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComposeIntoMatchesCompose(t *testing.T) {
+	// Property: ComposeInto writes exactly what Compose returns.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(MaxK)
+		p, q := Random(r, k), Random(r, k)
+		dst := make(Perm, k)
+		p.ComposeInto(dst, q)
+		return dst.Equal(p.Compose(q))
+	}
+	if err := quick.Check(f, quickCfg(5)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// FaultyMNBResult reports a multinode broadcast executed under a
+// fault plan.
+type FaultyMNBResult struct {
+	Rounds    int
+	Sends     int64
+	LinkStats LinkStats
+	// Survivors is the number of nodes alive after every onset.
+	Survivors int
+	// Expected is the number of (source packet → survivor) deliveries
+	// the final survivor graph makes possible (Σ over survivors v of
+	// the survivors that can reach v); Achieved is how many actually
+	// happened.  Coverage = Achieved / Expected, 1.0 on completion.
+	Expected, Achieved int64
+	Coverage           float64
+	// Stalled reports that gossip ran out of useful sends before
+	// meeting Expected (only possible when faults strike mid-run and
+	// strand packets).
+	Stalled bool
+}
+
+// String renders the result on one line.
+func (r FaultyMNBResult) String() string {
+	return fmt.Sprintf("rounds=%d sends=%d survivors=%d coverage=%.4f stalled=%v",
+		r.Rounds, r.Sends, r.Survivors, r.Coverage, r.Stalled)
+}
+
+// countAnd returns the number of bits set in both a and b.
+func (b bitset) countAnd(a bitset) int {
+	total := 0
+	for w := range b {
+		total += bits.OnesCount64(b[w] & a[w])
+	}
+	return total
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	total := 0
+	for _, w := range b {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// MNBFaulty is MNBWithPolicy executed under a fault plan: dead nodes
+// neither send nor receive, dead links carry nothing, and the task
+// completes when every final survivor holds the packet of every
+// survivor that can still reach it (the reachability closure of the
+// survivor subgraph).  With an empty plan the guards never fire and
+// the round/send sequence is bit-identical to MNBWithPolicy.
+func MNBFaulty(nt *Net, model Model, policy MNBPolicy, plan *FaultPlan) (FaultyMNBResult, error) {
+	n, d := nt.N(), nt.Ports()
+	if mem := int64(n) * int64(n) * int64(d+2) / 8; mem > 400<<20 {
+		return FaultyMNBResult{}, fmt.Errorf("sim: faulty MNB on %s needs %d MB of knowledge state", nt.Name(), mem>>20)
+	}
+
+	// Expected delivery sets from final-survivor reachability.  The
+	// empty plan keeps expected == nil, meaning "all n packets at all
+	// n nodes" — the exact legacy completion predicate.
+	var expected []bitset
+	res := FaultyMNBResult{Survivors: n}
+	if !plan.Empty() {
+		dead := plan.finalDeadNodes()
+		m, err := nt.CSR().ReachMatrixUnder(dead, plan.finalArcDown())
+		if err != nil {
+			return FaultyMNBResult{}, err
+		}
+		expected = make([]bitset, n)
+		res.Survivors = 0
+		for v := 0; v < n; v++ {
+			if dead != nil && dead[v] {
+				continue
+			}
+			res.Survivors++
+			expected[v] = newBitset(n)
+		}
+		for u := 0; u < n; u++ {
+			if dead != nil && dead[u] {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if expected[v] != nil && m.At(u, v) {
+					expected[v].set(u)
+					res.Expected++
+				}
+			}
+		}
+	} else {
+		res.Expected = int64(n) * int64(n)
+	}
+
+	know := make([]bitset, n)
+	for v := range know {
+		know[v] = newBitset(n)
+		know[v].set(v)
+	}
+	peer := make([][]bitset, d)
+	for p := range peer {
+		peer[p] = make([]bitset, n)
+		for v := range peer[p] {
+			peer[p][v] = newBitset(n)
+		}
+	}
+	rev := make([]int, d)
+	for p := 0; p < d; p++ {
+		rev[p] = nt.set.IndexOfAction(nt.set.At(p).Inverse())
+	}
+	canon := make([]int, d)
+	for p := 0; p < d; p++ {
+		canon[p] = nt.set.IndexOfAction(nt.set.At(p))
+	}
+
+	done := func() bool {
+		if expected == nil {
+			for v := 0; v < n; v++ {
+				if !know[v].full(n) {
+					return false
+				}
+			}
+			return true
+		}
+		for v := 0; v < n; v++ {
+			if expected[v] == nil {
+				continue
+			}
+			if firstMissing(expected[v], know[v], n) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	linkUses := make([]int, n*d)
+	type send struct {
+		v, p, pkt int
+	}
+	sends := make([]send, 0, n*d)
+	maxRounds := 4 * n * d
+	if plan != nil && plan.spec.Onset > maxRounds {
+		maxRounds = plan.spec.Onset + 4*n*d
+	}
+	emptyRounds := 0
+	for round := 0; ; round++ {
+		if done() {
+			res.Rounds = round
+			break
+		}
+		if round > maxRounds || emptyRounds >= d {
+			// Mid-run faults stranded undeliverable packets; stop and
+			// report coverage instead of erroring.
+			res.Rounds = round
+			res.Stalled = true
+			break
+		}
+		sends = sends[:0]
+		pick := func(v, p, round int) {
+			if !nt.Usable(plan, v, p, round) {
+				return
+			}
+			start := 0
+			if policy == RotatingScan {
+				start = (v*31 + round*17) % n
+			}
+			if pkt := firstMissingFrom(know[v], peer[canon[p]][v], n, start); pkt >= 0 {
+				peer[canon[p]][v].set(pkt)
+				sends = append(sends, send{v, p, pkt})
+			}
+		}
+		switch model {
+		case AllPort:
+			for v := 0; v < n; v++ {
+				for p := 0; p < d; p++ {
+					pick(v, p, round)
+				}
+			}
+		case SinglePort:
+			for v := 0; v < n; v++ {
+				before := len(sends)
+				for off := 0; off < d && len(sends) == before; off++ {
+					pick(v, (v+round+off)%d, round)
+				}
+			}
+		case SDC:
+			p := round % d
+			for v := 0; v < n; v++ {
+				pick(v, p, round)
+			}
+		default:
+			return res, fmt.Errorf("sim: unknown model %v", model)
+		}
+		if len(sends) == 0 {
+			emptyRounds++
+		} else {
+			emptyRounds = 0
+		}
+		for _, s := range sends {
+			w := nt.Neighbor(s.v, s.p)
+			know[w].set(s.pkt)
+			if rev[s.p] >= 0 {
+				peer[canon[rev[s.p]]][w].set(s.pkt)
+			}
+			linkUses[s.v*d+s.p]++
+			res.Sends++
+		}
+	}
+	res.LinkStats = statsOf(linkUses)
+
+	if expected == nil {
+		res.Achieved = 0
+		for v := 0; v < n; v++ {
+			res.Achieved += int64(know[v].count())
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			if expected[v] != nil {
+				res.Achieved += int64(know[v].countAnd(expected[v]))
+			}
+		}
+	}
+	if res.Expected > 0 {
+		res.Coverage = float64(res.Achieved) / float64(res.Expected)
+	}
+	return res, nil
+}

@@ -14,9 +14,11 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"supercayley/internal/gens"
+	"supercayley/internal/graph"
 	"supercayley/internal/perm"
 )
 
@@ -32,15 +34,37 @@ type Net struct {
 }
 
 // MaxSimNodes bounds the networks we are willing to enumerate for
-// simulation (8! = 40320).
+// simulation: 8! = 40320 fits, 9! = 362880 does not.
 const MaxSimNodes = 45000
 
-// FromSet enumerates the Cayley network of a generator set.
+// ErrTooLarge is the sentinel matched by errors.Is when a network is
+// too large to enumerate for simulation.
+var ErrTooLarge = errors.New("sim: network exceeds MaxSimNodes")
+
+// TooLargeError reports the network that exceeded MaxSimNodes; it
+// matches ErrTooLarge under errors.Is and carries the exact sizes.
+type TooLargeError struct {
+	Name  string
+	Nodes int64
+	Limit int
+}
+
+// Error renders the failure with its sizes.
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("sim: %s has %d nodes, above limit %d", e.Name, e.Nodes, e.Limit)
+}
+
+// Is matches ErrTooLarge.
+func (e *TooLargeError) Is(target error) bool { return target == ErrTooLarge }
+
+// FromSet enumerates the Cayley network of a generator set.  Networks
+// beyond MaxSimNodes return a *TooLargeError (errors.Is(err,
+// ErrTooLarge)) before any enumeration work happens.
 func FromSet(name string, set *gens.Set) (*Net, error) {
 	k := set.K()
 	total := perm.Factorial(k)
 	if total > MaxSimNodes {
-		return nil, fmt.Errorf("sim: %s has %d nodes, above limit %d", name, total, MaxSimNodes)
+		return nil, &TooLargeError{Name: name, Nodes: total, Limit: MaxSimNodes}
 	}
 	n := int(total)
 	d := set.Len()
@@ -82,6 +106,24 @@ func (nt *Net) Neighbor(v, p int) int { return int(nt.nbr[p][v]) }
 // PortOf returns the port index of a generator (by name, then by
 // action), or -1.
 func (nt *Net) PortOf(g gens.Generator) int { return nt.set.Index(g) }
+
+// CSR materializes the network as a compressed-sparse-row graph with
+// arcs in port order, so that arc index i of node v is exactly port i
+// — the mapping the fault-reachability queries rely on.
+func (nt *Net) CSR() *graph.CSR {
+	n, d := nt.n, len(nt.nbr)
+	offsets := make([]int64, n+1)
+	edges := make([]int32, int64(n)*int64(d))
+	for v := 0; v <= n; v++ {
+		offsets[v] = int64(v) * int64(d)
+	}
+	for p := 0; p < d; p++ {
+		for v := 0; v < n; v++ {
+			edges[int64(v)*int64(d)+int64(p)] = nt.nbr[p][v]
+		}
+	}
+	return graph.NewCSR(nt.name, offsets, edges)
+}
 
 // Model selects the communication model.
 type Model int
