@@ -32,6 +32,12 @@ go test -race ./...
 echo "== go test -race ./internal/sim (fault layer)"
 go test -race -count=2 ./internal/sim/...
 
+# Routing-engine smoke: run every Route benchmark once, plus the
+# allocation-regression guards (tagged !race — sync.Pool drops items
+# under the race detector, so they cannot run in the -race pass).
+echo "== bench smoke (-bench=Route -benchtime=1x) + alloc guards"
+go test -run='AllocFree$' -bench=Route -benchtime=1x ./internal/core
+
 echo "== fuzz smoke"
 go test -run='^$' -fuzz=FuzzLehmerRoundTrip -fuzztime=10s ./internal/perm
 go test -run='^$' -fuzz=FuzzRouteDelivers -fuzztime=10s ./internal/core

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -54,6 +55,8 @@ func main() {
 		err = cmdTasks(args)
 	case "faults":
 		err = cmdFaults(args)
+	case "bench-routes":
+		err = cmdBenchRoutes(args)
 	case "export":
 		err = cmdExport(args)
 	case "compare":
@@ -82,6 +85,7 @@ commands:
   bag       solve a scrambled ball-arrangement game
   tasks     simulate MNB / TE communication tasks (Corollaries 2–3)
   faults    inject node/link faults, reroute adaptively, report degradation
+  bench-routes  measure pair-routing throughput (legacy vs cached engine), write BENCH_routes.json
   export    write the network as Graphviz DOT
   compare   degree/diameter table across families and k
 
@@ -396,6 +400,76 @@ func cmdFaults(args []string) error {
 		return fmt.Errorf("unknown task %q", *task)
 	}
 	return nil
+}
+
+func cmdBenchRoutes(args []string) error {
+	fs := flag.NewFlagSet("bench-routes", flag.ExitOnError)
+	families := fs.String("families", "MS,IS", "comma-separated families to measure at k symbols")
+	k := fs.Int("k", 8, "symbols (k = 8 → 40320 nodes, the snapshot protocol)")
+	pairs := fs.Int("pairs", 200000, "workload pairs per engine measurement")
+	legacyPairs := fs.Int("legacy-pairs", 20000, "pair cap for the slow per-call legacy baseline")
+	seed := fs.Int64("seed", 1, "workload seed")
+	skew := fs.Float64("skew", 1.2, "zipf exponent (> 1)")
+	uniform := fs.Bool("uniform", false, "also measure a uniform workload")
+	out := fs.String("out", "", "write the JSON report here (default: stdout only)")
+	fs.Parse(args)
+
+	var nws []*core.Network
+	for _, name := range strings.Split(*families, ",") {
+		f, err := core.ParseFamily(name)
+		if err != nil {
+			return err
+		}
+		nw, err := benchNetworkAtK(f, *k)
+		if err != nil {
+			return err
+		}
+		nws = append(nws, nw)
+	}
+	rep, err := comm.BenchRoutes(comm.RouteBenchConfig{
+		Networks:    nws,
+		Pairs:       *pairs,
+		LegacyPairs: *legacyPairs,
+		Seed:        *seed,
+		Skew:        *skew,
+		Uniform:     *uniform,
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range rep.Entries {
+		speed := ""
+		if e.SpeedupVsLegacy > 0 {
+			speed = fmt.Sprintf("  %6.1fx vs legacy", e.SpeedupVsLegacy)
+		}
+		cache := ""
+		if e.CacheEntries > 0 {
+			cache = fmt.Sprintf("  hitrate=%.3f entries=%d", e.CacheHitRate, e.CacheEntries)
+		}
+		fmt.Printf("%-10s %-14s %-16s pairs=%-7d %12.0f pairs/s%s%s\n",
+			e.Net, e.Workload, e.Engine, e.Pairs, e.PairsPerSec, speed, cache)
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+// benchNetworkAtK instantiates family f with k symbols, choosing the
+// (l, n) split with the most boxes (n = 1) so super generators are
+// exercised; IS is single-box by definition.
+func benchNetworkAtK(f core.Family, k int) (*core.Network, error) {
+	if f == core.IS {
+		return core.NewIS(k)
+	}
+	return core.New(f, k-1, 1)
 }
 
 func cmdExport(args []string) error {

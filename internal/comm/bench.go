@@ -1,0 +1,220 @@
+package comm
+
+// Routing-throughput measurement behind `scg bench-routes` and the
+// BENCH_routes.json snapshot: for each network it times the legacy
+// per-call Route adapter (allocates generators every hop), the bulk
+// engine with a cold cache, the same engine warm (second pass over
+// the identical workload), and the batched RouteMany entry point,
+// all on the same seeded workload, and reports pairs-per-second plus
+// speedups over legacy.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"supercayley/internal/core"
+	"supercayley/internal/gens"
+	"supercayley/internal/sim"
+)
+
+// RouteBenchConfig parameterizes BenchRoutes.  The zero value is
+// filled with the defaults noted per field.
+type RouteBenchConfig struct {
+	// Networks to measure; default MS(7,1) and IS(8) (k = 8, N = 40320).
+	Networks []*core.Network
+	// Pairs per engine measurement; default 200000.
+	Pairs int
+	// LegacyPairs caps the per-call legacy measurement (it is orders
+	// of magnitude slower); default 20000.
+	LegacyPairs int
+	// Seed drives the workload sample; default 1.
+	Seed int64
+	// Skew is the zipf exponent (> 1); default 1.2.
+	Skew float64
+	// Uniform adds a uniform-workload sweep next to the zipfian one.
+	Uniform bool
+}
+
+func (cfg *RouteBenchConfig) fill() error {
+	if len(cfg.Networks) == 0 {
+		ms, err := core.New(core.MS, 7, 1)
+		if err != nil {
+			return err
+		}
+		is, err := core.NewIS(8)
+		if err != nil {
+			return err
+		}
+		cfg.Networks = []*core.Network{ms, is}
+	}
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 200000
+	}
+	if cfg.LegacyPairs <= 0 {
+		cfg.LegacyPairs = 20000
+	}
+	if cfg.LegacyPairs > cfg.Pairs {
+		cfg.LegacyPairs = cfg.Pairs
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Skew <= 1 {
+		cfg.Skew = 1.2
+	}
+	return nil
+}
+
+// RouteBenchEntry is one measurement in BENCH_routes.json.
+type RouteBenchEntry struct {
+	Net             string  `json:"net"`
+	K               int     `json:"k"`
+	Nodes           int     `json:"nodes"`
+	Workload        string  `json:"workload"`
+	Engine          string  `json:"engine"`
+	Pairs           int     `json:"pairs"`
+	Seconds         float64 `json:"seconds"`
+	PairsPerSec     float64 `json:"pairs_per_sec"`
+	MeanRouteLen    float64 `json:"mean_route_len"`
+	SpeedupVsLegacy float64 `json:"speedup_vs_legacy,omitempty"`
+	CacheHitRate    float64 `json:"cache_hit_rate,omitempty"`
+	CacheEntries    int     `json:"cache_entries,omitempty"`
+}
+
+// RouteBenchReport is the BENCH_routes.json document.
+type RouteBenchReport struct {
+	Generated  string            `json:"generated"`
+	GoMaxProcs int               `json:"go_max_procs"`
+	NumCPU     int               `json:"num_cpu"`
+	Note       string            `json:"note"`
+	Entries    []RouteBenchEntry `json:"entries"`
+}
+
+// BenchRoutes runs the routing-throughput protocol.  Engines:
+//
+//   - legacy_route:   per-call Route via SCGRouteLegacy (the pre-engine
+//     hot path), measured on a capped pair count;
+//   - engine_cold:    fresh CachedRouter, every quotient a miss;
+//   - engine_warm:    the same router over the identical workload again
+//     (cache serves every pair);
+//   - route_many_warm: core.RouteMany batched entry point, warm cache.
+//
+// Every engine routes the same seeded workload and every route is
+// verified to land on its destination.
+func BenchRoutes(cfg RouteBenchConfig) (*RouteBenchReport, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rep := &RouteBenchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "pair-routing throughput; legacy_route = per-call star-expansion routing, engine_* = " +
+			"zero-alloc kernel behind the symmetry-normalized sharded route cache (warm = second pass " +
+			"over the same workload), route_many_warm = batched RouteMany; all routes delivery-verified",
+	}
+	for _, nw := range cfg.Networks {
+		nt, err := SCGNet(nw)
+		if err != nil {
+			return nil, err
+		}
+		workloads := []sim.Workload{sim.ZipfWorkload(nt.N(), cfg.Pairs, cfg.Seed, cfg.Skew)}
+		if cfg.Uniform {
+			workloads = append(workloads, sim.UniformWorkload(nt.N(), cfg.Pairs, cfg.Seed))
+		}
+		for _, wl := range workloads {
+			entries, err := benchNetwork(nw, nt, wl, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("comm: bench-routes on %s: %w", nw.Name(), err)
+			}
+			rep.Entries = append(rep.Entries, entries...)
+		}
+	}
+	return rep, nil
+}
+
+func benchNetwork(nw *core.Network, nt *sim.Net, wl sim.Workload, cfg RouteBenchConfig) ([]RouteBenchEntry, error) {
+	base := RouteBenchEntry{Net: nw.Name(), K: nw.K(), Nodes: nt.N(), Workload: wl.Name}
+
+	// Legacy per-call baseline on a capped prefix of the workload.
+	legacyWl := sim.Workload{Name: wl.Name, Srcs: wl.Srcs[:cfg.LegacyPairs], Dsts: wl.Dsts[:cfg.LegacyPairs]}
+	legacyRoute := SCGRouteLegacy(nw)
+	legacyRes, err := sim.Throughput(nt, func(buf []gens.GenIndex, src, dst int) ([]gens.GenIndex, error) {
+		ports, err := legacyRoute(src, dst)
+		if err != nil {
+			return buf, err
+		}
+		for _, p := range ports {
+			buf = append(buf, gens.GenIndex(p))
+		}
+		return buf, nil
+	}, legacyWl)
+	if err != nil {
+		return nil, err
+	}
+	legacy := base
+	legacy.Engine = "legacy_route"
+	legacy.Pairs = legacyRes.Pairs
+	legacy.Seconds = legacyRes.Seconds
+	legacy.PairsPerSec = legacyRes.PairsPerSec
+	legacy.MeanRouteLen = legacyRes.MeanRouteLen
+	entries := []RouteBenchEntry{legacy}
+
+	engine := NewSCGEngine(nw)
+	mk := func(name string, res sim.ThroughputResult) RouteBenchEntry {
+		e := base
+		e.Engine = name
+		e.Pairs = res.Pairs
+		e.Seconds = res.Seconds
+		e.PairsPerSec = res.PairsPerSec
+		e.MeanRouteLen = res.MeanRouteLen
+		if legacy.PairsPerSec > 0 {
+			e.SpeedupVsLegacy = res.PairsPerSec / legacy.PairsPerSec
+		}
+		st := engine.Stats()
+		e.CacheHitRate = st.HitRate()
+		e.CacheEntries = st.Entries
+		return e
+	}
+
+	cold, err := sim.Throughput(nt, engine.AppendRoute, wl)
+	if err != nil {
+		return nil, err
+	}
+	entries = append(entries, mk("engine_cold", cold))
+
+	warm, err := sim.Throughput(nt, engine.AppendRoute, wl)
+	if err != nil {
+		return nil, err
+	}
+	entries = append(entries, mk("engine_warm", warm))
+
+	// Batched RouteMany over the warm cache.
+	srcs := make([]int64, wl.Pairs())
+	dsts := make([]int64, wl.Pairs())
+	for i := range srcs {
+		srcs[i] = int64(wl.Srcs[i])
+		dsts[i] = int64(wl.Dsts[i])
+	}
+	t0 := time.Now()
+	bulk, err := engine.CachedRouter().RouteMany(srcs, dsts)
+	if err != nil {
+		return nil, err
+	}
+	sec := time.Since(t0).Seconds()
+	bm := sim.ThroughputResult{
+		Pairs:        bulk.Pairs(),
+		TotalHops:    bulk.TotalHops(),
+		Seconds:      sec,
+		MeanRouteLen: float64(bulk.TotalHops()) / float64(bulk.Pairs()),
+	}
+	if sec > 0 {
+		bm.PairsPerSec = float64(bulk.Pairs()) / sec
+	}
+	if bulk.TotalHops() != warm.TotalHops {
+		return nil, fmt.Errorf("RouteMany hops %d disagree with engine hops %d", bulk.TotalHops(), warm.TotalHops)
+	}
+	entries = append(entries, mk("route_many_warm", bm))
+	return entries, nil
+}

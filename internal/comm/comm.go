@@ -50,8 +50,20 @@ func StarRoute(k int) (sim.RouteFunc, error) {
 }
 
 // SCGRoute returns the port-sequence routing function of a super
-// Cayley network (star-emulation routing, Theorems 1–3).
+// Cayley network (star-emulation routing, Theorems 1–3), served
+// through the symmetry-normalized route cache: every caller of this
+// function — the TE simulator, the experiments, `scg tasks` — rides
+// the bulk engine.  Differential tests pin its output to
+// SCGRouteLegacy port for port.
 func SCGRoute(nw *core.Network) sim.RouteFunc {
+	return NewSCGEngine(nw).RouteFunc()
+}
+
+// SCGRouteLegacy is the original per-call routing function: unrank
+// both endpoints, expand the star route generator by generator, look
+// every port up by name.  It allocates on every hop and is kept as
+// the differential-testing oracle and the bench-routes baseline.
+func SCGRouteLegacy(nw *core.Network) sim.RouteFunc {
 	set := nw.Set()
 	k := nw.K()
 	return func(src, dst int) ([]int, error) {

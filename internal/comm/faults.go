@@ -15,11 +15,22 @@ import (
 // SCGRouter returns the adaptive-routing callbacks of a super Cayley
 // network: Route is the fault-free star-emulation route (Theorems
 // 1–3) and Alternates ranks every generator of the set as a detour
-// candidate via core.StepOptions.
+// candidate.  Both run through one shared SCGEngine, so the sweep's
+// route recomputations after detours — and the route-length probes
+// behind the alternate ranking — hit the normalized cache instead of
+// re-expanding star moves.  The ranking reproduces core.StepOptions'
+// order exactly (differential tests pin this).
 func SCGRouter(nw *core.Network) sim.Router {
+	return NewSCGEngine(nw).Router()
+}
+
+// SCGRouterLegacy is the original adaptive-routing pair built on the
+// per-call SCGRouteLegacy and core.StepOptions; kept as the
+// differential-testing oracle for SCGRouter.
+func SCGRouterLegacy(nw *core.Network) sim.Router {
 	set, k := nw.Set(), nw.K()
 	return sim.Router{
-		Route: SCGRoute(nw),
+		Route: SCGRouteLegacy(nw),
 		Alternates: func(cur, dst int) ([]int, error) {
 			u := perm.Unrank(k, int64(cur))
 			v := perm.Unrank(k, int64(dst))

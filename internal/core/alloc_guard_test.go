@@ -1,0 +1,49 @@
+//go:build !race
+
+// The allocation-regression guards live behind the !race tag: under
+// the race detector sync.Pool deliberately drops items (so the pooled
+// scratch reallocates) and every allocation count is inflated by
+// instrumentation.
+
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+// TestRouteIntoAllocFree is the allocation-regression guard for the
+// kernel: with a preallocated destination and reused scratch, RouteInto
+// must not allocate at all.
+func TestRouteIntoAllocFree(t *testing.T) {
+	nw := MustNew(MS, 7, 1) // k = 8
+	s := NewRouteScratch(nw.K())
+	r := rand.New(rand.NewSource(16))
+	u, v := perm.Random(r, nw.K()), perm.Random(r, nw.K())
+	dst := make([]gens.GenIndex, 0, 256)
+	if avg := testing.AllocsPerRun(200, func() {
+		dst = nw.RouteInto(dst[:0], u, v, s)
+	}); avg != 0 {
+		t.Fatalf("RouteInto allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+// TestAppendRouteWarmAllocFree guards the cached hot path: once the
+// quotient is cached and the pooled scratch is warm, AppendRoute into a
+// preallocated buffer must not allocate.
+func TestAppendRouteWarmAllocFree(t *testing.T) {
+	nw := MustNew(MS, 7, 1)
+	cr := NewCachedRouter(nw, CacheConfig{})
+	r := rand.New(rand.NewSource(17))
+	u, v := perm.Random(r, nw.K()), perm.Random(r, nw.K())
+	dst := make([]gens.GenIndex, 0, 256)
+	dst = cr.AppendRoute(dst[:0], u, v) // warm cache and pool
+	if avg := testing.AllocsPerRun(200, func() {
+		dst = cr.AppendRoute(dst[:0], u, v)
+	}); avg != 0 {
+		t.Fatalf("warm AppendRoute allocates %.1f objects per call, want 0", avg)
+	}
+}

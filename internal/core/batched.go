@@ -21,7 +21,7 @@ func (nw *Network) RouteBatched(u, v perm.Perm) []gens.Generator {
 		panic(fmt.Sprintf("core: RouteBatched on %s wants %d symbols", nw.Name(), nw.k))
 	}
 	w := v.Inverse().Compose(u)
-	r := &batchRouter{nw: nw, cur: w.Clone(), sup: perm.Identity(nw.k)}
+	r := &batchRouter{nw: nw, cur: w.Clone(), sup: perm.Identity(nw.k), baseBuf: make(perm.Perm, nw.k)}
 	r.solve()
 	return r.seq
 }
@@ -37,6 +37,12 @@ type batchRouter struct {
 	sup perm.Perm
 	seq []gens.Generator
 
+	// supInv caches sup⁻¹ between super moves (base() is called every
+	// solver iteration but sup changes only on super moves); nil marks
+	// it stale.  baseBuf is the reused destination of base().
+	supInv  perm.Perm
+	baseBuf perm.Perm
+
 	// swapped is the box a swap-super family currently holds at the
 	// front (0 = at rest); offset is the net left-rotation of a
 	// rotation-super family's boxes.
@@ -50,12 +56,21 @@ func (r *batchRouter) apply(gs ...gens.Generator) {
 		r.cur = g.Apply(r.cur)
 		if g.Class() == gens.Super {
 			r.sup = r.sup.Compose(g.Pi())
+			r.supInv = nil
 		}
 	}
 }
 
-// base returns the logical state with boxes at rest.
-func (r *batchRouter) base() perm.Perm { return r.cur.Compose(r.sup.Inverse()) }
+// base returns the logical state with boxes at rest.  The returned
+// slice is reused by the next base() call: read it before applying
+// further moves.
+func (r *batchRouter) base() perm.Perm {
+	if r.supInv == nil {
+		r.supInv = r.sup.Inverse()
+	}
+	r.cur.ComposeInto(r.baseBuf, r.supInv)
+	return r.baseBuf
+}
 
 // frontBox returns the box whose contents currently occupy the front
 // positions (1 when at rest).

@@ -16,6 +16,10 @@ type Network struct {
 	l, n, k int
 	set     *gens.Set
 	star    *star.Graph // the (nl+1)-star this network emulates
+	// dimExp[j] is EmulateStarDim(j) precompiled to generator indices
+	// into set (j = 2..k); the zero-alloc routing kernel concatenates
+	// these instead of re-expanding star moves on every call.
+	dimExp [][]gens.GenIndex
 }
 
 // New constructs family f with l boxes of n balls each.  Constraints:
@@ -46,7 +50,9 @@ func New(f Family, l, n int) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Network{family: f, l: l, n: n, k: k, set: set, star: st}, nil
+	nw := &Network{family: f, l: l, n: n, k: k, set: set, star: st}
+	nw.buildDimExp()
+	return nw, nil
 }
 
 // NewIS constructs the k-dimensional insertion-selection network: one
@@ -64,7 +70,9 @@ func NewIS(k int) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Network{family: IS, l: 1, n: k - 1, k: k, set: set, star: st}, nil
+	nw := &Network{family: IS, l: 1, n: k - 1, k: k, set: set, star: st}
+	nw.buildDimExp()
+	return nw, nil
 }
 
 // MustNew is New but panics on error.

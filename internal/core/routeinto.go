@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+// Zero-allocation routing kernel.
+//
+// Route is left-translation-invariant: the generator sequence from u
+// to v depends only on the quotient w = v⁻¹∘u (the same sequence sorts
+// w to the identity), so the N² pair space collapses onto N normalized
+// problems.  RouteInto exploits the second half of that structure — it
+// runs the star-graph greedy cycle algorithm directly on w, in place,
+// and emits the emulation route as compact generator indices from the
+// precompiled dimExp table instead of materializing []gens.Generator
+// per call.  The first half (caching normalized routes) is built on
+// top of it in cache.go / router.go.
+
+// RouteScratch holds the reusable permutation buffers one routing
+// goroutine needs.  A scratch value must not be shared between
+// concurrent callers; CachedRouter pools them internally.
+type RouteScratch struct {
+	u, v perm.Perm       // unranked endpoints (rank-based entry points)
+	inv  perm.Perm       // v⁻¹
+	w    perm.Perm       // quotient v⁻¹∘u, consumed in place by the sort
+	idx  []gens.GenIndex // spare index buffer for length-only probes
+}
+
+// NewRouteScratch returns scratch buffers for k-symbol networks.
+func NewRouteScratch(k int) *RouteScratch {
+	return &RouteScratch{
+		u:   make(perm.Perm, k),
+		v:   make(perm.Perm, k),
+		inv: make(perm.Perm, k),
+		w:   make(perm.Perm, k),
+		idx: make([]gens.GenIndex, 0, 64),
+	}
+}
+
+// buildDimExp precompiles every star-dimension expansion of Theorems
+// 1–3 into generator indices; called once at construction.
+func (nw *Network) buildDimExp() {
+	nw.dimExp = make([][]gens.GenIndex, nw.k+1)
+	for j := 2; j <= nw.k; j++ {
+		seq := nw.EmulateStarDim(j)
+		idx := make([]gens.GenIndex, len(seq))
+		for i, g := range seq {
+			p := nw.set.Index(g)
+			if p < 0 {
+				panic(fmt.Sprintf("core: %s: expansion generator %s not in set", nw.Name(), g.Name()))
+			}
+			idx[i] = gens.GenIndex(p)
+		}
+		nw.dimExp[j] = idx
+	}
+}
+
+// RouteInto appends the route from u to v onto dst as generator
+// indices into Set() and returns the extended slice.  The emitted
+// index sequence decodes (Set().Decode) to exactly the generator
+// sequence Route(u, v) returns — step for step — but the only
+// allocation is dst growth: pass a slice with spare capacity and a
+// reusable scratch to route with zero allocations per call.
+func (nw *Network) RouteInto(dst []gens.GenIndex, u, v perm.Perm, s *RouteScratch) []gens.GenIndex {
+	if len(u) != nw.k || len(v) != nw.k {
+		panic(fmt.Sprintf("core: RouteInto on %s wants %d symbols", nw.Name(), nw.k))
+	}
+	if len(s.inv) != nw.k || len(s.w) != nw.k {
+		panic(fmt.Sprintf("core: RouteInto scratch sized for %d symbols, want %d", len(s.w), nw.k))
+	}
+	v.InverseInto(s.inv)
+	s.inv.ComposeInto(s.w, u)
+	return nw.appendQuotientRoute(dst, s.w)
+}
+
+// appendQuotientRoute appends the route that sorts quotient w to the
+// identity — the greedy cycle algorithm of the star graph with every
+// star move T_j replaced by its precompiled expansion dimExp[j].  w is
+// consumed: it is the identity on return.
+func (nw *Network) appendQuotientRoute(dst []gens.GenIndex, w perm.Perm) []gens.GenIndex {
+	k := len(w)
+	for {
+		x := int(w[0])
+		if x != 1 {
+			// Send the outside symbol home: star move T_x.
+			dst = append(dst, nw.dimExp[x]...)
+			w[0], w[x-1] = w[x-1], w[0]
+			continue
+		}
+		// Symbol 1 is home: open the next non-trivial cycle, if any.
+		j := 0
+		for i := 1; i < k; i++ {
+			if int(w[i]) != i+1 {
+				j = i + 1
+				break
+			}
+		}
+		if j == 0 {
+			return dst
+		}
+		dst = append(dst, nw.dimExp[j]...)
+		w[0], w[j-1] = w[j-1], w[0]
+	}
+}
+
+// ReplayInto replays a compact route from node u into dst without
+// allocating (see gens.Set.ReplayInto); tmp is ping-pong scratch.
+func (nw *Network) ReplayInto(dst, tmp, u perm.Perm, route []gens.GenIndex) {
+	nw.set.ReplayInto(dst, tmp, u, route)
+}

@@ -268,6 +268,14 @@ func Rotation(n, l, i int) Generator {
 	return Generator{name: name, kind: KindRotation, class: Super, pi: pi, dim: i}
 }
 
+// GenIndex is a compact reference to a generator by its position in a
+// Set.  Routes on the bulk-routing hot path are emitted as []GenIndex
+// instead of []Generator: one byte per hop, decodable back to the
+// labelled generators with Set.Decode, and directly usable as the sim
+// package's port numbers (port p = generator index p).  A uint8 is
+// enough: every family's degree is at most 2n+l−1 ≤ 2·MaxK < 256.
+type GenIndex uint8
+
 // Set is an ordered generator set defining a Cayley graph.
 type Set struct {
 	gens []Generator
@@ -370,6 +378,38 @@ func (s *Set) Index(g Generator) int {
 		}
 	}
 	return s.IndexOfAction(g)
+}
+
+// Decode materializes a compact index route back into the labelled
+// generator sequence (the inverse of Set.Index over a route).
+func (s *Set) Decode(route []GenIndex) []Generator {
+	out := make([]Generator, len(route))
+	for i, idx := range route {
+		out[i] = s.gens[idx]
+	}
+	return out
+}
+
+// ReplayInto replays an index route from node u and writes the final
+// node into dst without allocating: dst = u∘g₁∘g₂∘…∘gₘ.  tmp is
+// ping-pong scratch; dst, tmp and u must all have length K() and must
+// not alias each other.  It is the bulk engine's decoder-free way to
+// verify where a compact route leads.
+func (s *Set) ReplayInto(dst, tmp, u perm.Perm, route []GenIndex) {
+	k := s.K()
+	if len(dst) != k || len(tmp) != k || len(u) != k {
+		panic(fmt.Sprintf("gens: ReplayInto wants %d-symbol buffers (dst=%d tmp=%d u=%d)",
+			k, len(dst), len(tmp), len(u)))
+	}
+	a, b := dst, tmp
+	copy(a, u)
+	for _, idx := range route {
+		a.ComposeInto(b, s.gens[idx].pi)
+		a, b = b, a
+	}
+	if &a[0] != &dst[0] {
+		copy(dst, a)
+	}
 }
 
 // Closed reports whether the set is closed under inversion, i.e. the

@@ -114,6 +114,40 @@ func TestQuickSwapCommutesWithDisjointSwap(t *testing.T) {
 	}
 }
 
+func TestQuickReplayIntoMatchesFoldedApply(t *testing.T) {
+	// Property: ReplayInto over a random index route equals folding
+	// Apply over the decoded generators, with the scratch buffers
+	// reused (and poisoned) across iterations.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 3 + r.Intn(8)
+		gs := make([]Generator, 0, k-1)
+		for i := 2; i <= k; i++ {
+			gs = append(gs, Transposition(k, i))
+		}
+		set := MustNewSet(gs...)
+		route := make([]GenIndex, r.Intn(12))
+		for i := range route {
+			route[i] = GenIndex(r.Intn(set.Len()))
+		}
+		u := perm.Random(r, k)
+		want := u.Clone()
+		for _, g := range set.Decode(route) {
+			want = g.Apply(want)
+		}
+		dst, tmp := make(perm.Perm, k), make(perm.Perm, k)
+		for i := range dst {
+			dst[i] = uint8(1 + (i+1)%k)
+			tmp[i] = uint8(1 + (i+2)%k)
+		}
+		set.ReplayInto(dst, tmp, u, route)
+		return dst.Equal(want)
+	}
+	if err := quick.Check(f, quickCfg(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickApplyIntoMatchesNaiveApply(t *testing.T) {
 	// Property: ApplyInto equals both Apply and the naive definition
 	// q[i] = p[pi[i]-1] from the generator's position permutation, for

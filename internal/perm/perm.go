@@ -148,10 +148,20 @@ func (p Perm) ComposeInto(dst, q Perm) {
 // Inverse returns p⁻¹: the permutation q with q[p[i]-1] = i+1.
 func (p Perm) Inverse() Perm {
 	q := make(Perm, len(p))
-	for i, s := range p {
-		q[s-1] = uint8(i + 1)
-	}
+	p.InverseInto(q)
 	return q
+}
+
+// InverseInto is Inverse writing into dst (which must have the right
+// length and may not alias p).  Together with ComposeInto it lets the
+// routing hot path form the pair quotient v⁻¹∘u with zero allocations.
+func (p Perm) InverseInto(dst Perm) {
+	if len(dst) != len(p) {
+		panic(fmt.Sprintf("perm: InverseInto length mismatch %d != %d", len(dst), len(p)))
+	}
+	for i, s := range p {
+		dst[s-1] = uint8(i + 1)
+	}
 }
 
 // PositionOf returns the 1-indexed position of symbol s in p, or 0 if

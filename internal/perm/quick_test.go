@@ -119,6 +119,34 @@ func TestQuickInverseIdentities(t *testing.T) {
 	}
 }
 
+func TestQuickInverseIntoMatchesInverse(t *testing.T) {
+	// Property: InverseInto writes exactly what Inverse returns, with
+	// the destination buffer reused (and poisoned) across iterations.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(MaxK)
+		p := Random(r, k)
+		dst := make(Perm, k)
+		for i := range dst {
+			dst[i] = uint8(1 + (i+1)%k) // poison: not the inverse
+		}
+		p.InverseInto(dst)
+		return dst.Equal(p.Inverse())
+	}
+	if err := quick.Check(f, quickCfg(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseIntoPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	MustNew(2, 1, 3).InverseInto(make(Perm, 2))
+}
+
 func TestQuickComposeIntoMatchesCompose(t *testing.T) {
 	// Property: ComposeInto writes exactly what Compose returns.
 	f := func(seed int64) bool {
