@@ -12,6 +12,10 @@ set -eu
 
 echo "== go vet"
 go vet ./...
+# Explicitly re-run the two analyzers the parallel engines depend on
+# hardest (copied sync primitives, pre-1.22-style loop captures), so a
+# future change to vet's default set cannot silently drop them.
+go vet -copylocks -loopclosure ./...
 
 echo "== gofmt"
 badfmt=$(gofmt -l .)
@@ -20,6 +24,12 @@ if [ -n "$badfmt" ]; then
     echo "$badfmt" >&2
     exit 1
 fi
+
+# scglint is the repo's own invariant suite (internal/lint): noalloc
+# kernels, exhaustive family switches, deterministic drivers, scratch
+# ownership, goroutine partitioning.  Any finding fails the gate.
+echo "== scglint"
+go run ./cmd/scglint ./...
 
 echo "== go build"
 go build ./...

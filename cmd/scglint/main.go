@@ -1,0 +1,85 @@
+// Command scglint runs the repository's static-analysis suite
+// (internal/lint) over the whole module and prints every finding as
+//
+//	file:line:col: [rule] message — fix: hint
+//
+// It exits 0 when the module is clean, 1 on findings, and 2 when the
+// module cannot be loaded or type-checked.  Package path arguments in
+// the `go vet` style ("./...") are accepted for CLI compatibility but
+// the suite always analyzes the full module: the annotation indexes
+// and cross-package callee checks need the complete picture anyway.
+//
+// Usage, from anywhere inside the module:
+//
+//	go run ./cmd/scglint ./...
+//	go run ./cmd/scglint -list
+//	go run ./cmd/scglint -C internal/lint/testdata/src/noalloc_bad
+//
+// When -C points inside a testdata tree, only that directory is
+// type-checked (as a fixture package against the module) and linted —
+// the way the self-test fixtures are exercised from the shell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"supercayley/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", ".", "directory inside the module to lint")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scglint:", err)
+		os.Exit(2)
+	}
+	m, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scglint:", err)
+		os.Exit(2)
+	}
+	var findings []lint.Finding
+	if abs, err := filepath.Abs(*dir); err == nil && inTestdata(abs) {
+		pkg, err := m.LoadDir(abs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scglint:", err)
+			os.Exit(2)
+		}
+		findings = m.Lint(pkg)
+	} else {
+		findings = m.Lint()
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "scglint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// inTestdata reports whether the path has a "testdata" element — the
+// go tool ignores such directories, so the module sweep skips them and
+// scglint lints them one package at a time instead.
+func inTestdata(path string) bool {
+	for _, part := range strings.Split(filepath.ToSlash(path), "/") {
+		if part == "testdata" {
+			return true
+		}
+	}
+	return false
+}

@@ -156,8 +156,10 @@ func (f Family) Nucleus() NucleusStyle {
 		return NucleusTransposition
 	case MR, RR, CompleteRR:
 		return NucleusInsertion
-	default:
+	case IS, MIS, RIS, CompleteRIS:
 		return NucleusInsertionSelection
+	default:
+		panic(fmt.Sprintf("core: unknown family %d", int(f)))
 	}
 }
 
@@ -170,8 +172,10 @@ func (f Family) Super() SuperStyle {
 		return SuperRotation
 	case CompleteRS, CompleteRR, CompleteRIS:
 		return SuperCompleteRotation
-	default:
+	case IS:
 		return SuperNone
+	default:
+		panic(fmt.Sprintf("core: unknown family %d", int(f)))
 	}
 }
 
@@ -181,8 +185,11 @@ func (f Family) Directed() bool {
 	switch f {
 	case MR, RR, CompleteRR:
 		return true
+	case MS, RS, CompleteRS, IS, MIS, RIS, CompleteRIS:
+		return false
+	default:
+		panic(fmt.Sprintf("core: unknown family %d", int(f)))
 	}
-	return false
 }
 
 // buildSet assembles the generator set for family f with l boxes of n

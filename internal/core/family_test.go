@@ -1,0 +1,134 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"supercayley/internal/perm"
+)
+
+// TestFamilyStringExact pins the paper's name for every family plus
+// the out-of-range fallback, so a reordered enum cannot silently
+// relabel networks.
+func TestFamilyStringExact(t *testing.T) {
+	want := map[Family]string{
+		MS:          "MS",
+		RS:          "RS",
+		CompleteRS:  "Complete-RS",
+		MR:          "MR",
+		RR:          "RR",
+		CompleteRR:  "Complete-RR",
+		IS:          "IS",
+		MIS:         "MIS",
+		RIS:         "RIS",
+		CompleteRIS: "Complete-RIS",
+	}
+	if len(Families) != 10 {
+		t.Fatalf("Families lists %d entries, want 10", len(Families))
+	}
+	for _, f := range Families {
+		if got := f.String(); got != want[f] {
+			t.Errorf("Family(%d).String() = %q, want %q", int(f), got, want[f])
+		}
+		back, err := ParseFamily(f.String())
+		if err != nil || back != f {
+			t.Errorf("ParseFamily(%q) = %v, %v; want %v", f.String(), back, err, f)
+		}
+	}
+	if got := Family(99).String(); got != "Family(99)" {
+		t.Errorf("out-of-range String() = %q, want \"Family(99)\"", got)
+	}
+}
+
+// TestFamilyStyleTotality checks that every family resolves to a
+// nucleus/super style and a directedness, and that the unknown-family
+// defaults panic instead of inventing an eleventh family.
+func TestFamilyStyleTotality(t *testing.T) {
+	for _, f := range Families {
+		_ = f.Nucleus()
+		_ = f.Super()
+		_ = f.Directed()
+	}
+	directed := map[Family]bool{MR: true, RR: true, CompleteRR: true}
+	for _, f := range Families {
+		if got := f.Directed(); got != directed[f] {
+			t.Errorf("%v.Directed() = %v, want %v", f, got, directed[f])
+		}
+	}
+	for name, call := range map[string]func(){
+		"Nucleus":  func() { Family(99).Nucleus() },
+		"Super":    func() { Family(99).Super() },
+		"Directed": func() { Family(99).Directed() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Family(99).%s() did not panic", name)
+				}
+			}()
+			call()
+		}()
+	}
+}
+
+// TestNewValidationAllFamilies drives New through bad l and n for
+// every multi-box family and through the IS special-casing.
+func TestNewValidationAllFamilies(t *testing.T) {
+	for _, f := range Families {
+		if f == IS {
+			continue
+		}
+		if _, err := New(f, 2, 0); err == nil {
+			t.Errorf("New(%v, 2, 0): want error for n < 1", f)
+		}
+		if _, err := New(f, 1, 2); err == nil {
+			t.Errorf("New(%v, 1, 2): want error for l < 2", f)
+		}
+		if _, err := New(f, perm.MaxK, perm.MaxK); err == nil {
+			t.Errorf("New(%v, %d, %d): want error for k > MaxK", f, perm.MaxK, perm.MaxK)
+		}
+		nw, err := New(f, 2, 2)
+		if err != nil {
+			t.Errorf("New(%v, 2, 2): %v", f, err)
+			continue
+		}
+		if nw.Family() != f || nw.K() != 5 {
+			t.Errorf("New(%v, 2, 2) built %v with k=%d", f, nw.Family(), nw.K())
+		}
+	}
+}
+
+// TestNewISSpecialCasing covers the single-box family: New(IS, ...)
+// must reject multi-box shapes and delegate to NewIS, whose own k
+// bounds are enforced.
+func TestNewISSpecialCasing(t *testing.T) {
+	if _, err := New(IS, 2, 2); err == nil || !strings.Contains(err.Error(), "NewIS") {
+		t.Errorf("New(IS, 2, 2) = %v; want single-box error mentioning NewIS", err)
+	}
+	nw, err := New(IS, 1, 4)
+	if err != nil {
+		t.Fatalf("New(IS, 1, 4): %v", err)
+	}
+	if nw.Family() != IS || nw.K() != 5 || nw.L() != 1 {
+		t.Errorf("New(IS, 1, 4) built %v k=%d l=%d; want IS k=5 l=1", nw.Family(), nw.K(), nw.L())
+	}
+	if _, err := NewIS(1); err == nil {
+		t.Error("NewIS(1): want error for k < 2")
+	}
+	if _, err := NewIS(perm.MaxK + 1); err == nil {
+		t.Errorf("NewIS(%d): want error for k > MaxK", perm.MaxK+1)
+	}
+	if is, err := NewIS(2); err != nil || is.K() != 2 || is.Degree() < 1 {
+		t.Errorf("NewIS(2) = %v, %v; want the 2-symbol network", is, err)
+	}
+}
+
+// TestMustNewPanicsOnBadShape pins the panic contract of MustNew.
+func TestMustNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(MS, 0, 0) did not panic")
+		}
+	}()
+	MustNew(MS, 0, 0)
+}

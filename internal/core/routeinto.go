@@ -64,6 +64,8 @@ func (nw *Network) buildDimExp() {
 // sequence Route(u, v) returns — step for step — but the only
 // allocation is dst growth: pass a slice with spare capacity and a
 // reusable scratch to route with zero allocations per call.
+//
+//scg:noalloc
 func (nw *Network) RouteInto(dst []gens.GenIndex, u, v perm.Perm, s *RouteScratch) []gens.GenIndex {
 	if len(u) != nw.k || len(v) != nw.k {
 		panic(fmt.Sprintf("core: RouteInto on %s wants %d symbols", nw.Name(), nw.k))
@@ -80,6 +82,8 @@ func (nw *Network) RouteInto(dst []gens.GenIndex, u, v perm.Perm, s *RouteScratc
 // identity — the greedy cycle algorithm of the star graph with every
 // star move T_j replaced by its precompiled expansion dimExp[j].  w is
 // consumed: it is the identity on return.
+//
+//scg:noalloc
 func (nw *Network) appendQuotientRoute(dst []gens.GenIndex, w perm.Perm) []gens.GenIndex {
 	k := len(w)
 	for {
@@ -108,6 +112,8 @@ func (nw *Network) appendQuotientRoute(dst []gens.GenIndex, w perm.Perm) []gens.
 
 // ReplayInto replays a compact route from node u into dst without
 // allocating (see gens.Set.ReplayInto); tmp is ping-pong scratch.
+//
+//scg:noalloc
 func (nw *Network) ReplayInto(dst, tmp, u perm.Perm, route []gens.GenIndex) {
 	nw.set.ReplayInto(dst, tmp, u, route)
 }

@@ -147,6 +147,8 @@ func (b *BulkRoutes) TotalHops() int64 { return b.Offsets[len(b.Offsets)-1] }
 // pair order as one flat index array.  The output is deterministic:
 // worker scheduling affects only which worker fills which chunk, never
 // the bytes.
+//
+//scg:deterministic
 func (cr *CachedRouter) RouteMany(srcs, dsts []int64) (*BulkRoutes, error) {
 	if len(srcs) != len(dsts) {
 		return nil, fmt.Errorf("core: RouteMany wants equal-length rank slices (%d vs %d)", len(srcs), len(dsts))

@@ -98,6 +98,8 @@ func (g Generator) Dim() int { return g.dim }
 func (g Generator) Dim2() int { return g.dim2 }
 
 // K returns the number of symbols the generator acts on.
+//
+//scg:noalloc
 func (g Generator) K() int { return len(g.pi) }
 
 // Pi returns a copy of the underlying position permutation.
@@ -112,6 +114,8 @@ func (g Generator) Apply(p perm.Perm) perm.Perm {
 }
 
 // ApplyInto writes p∘g into dst without allocating; dst must not alias p.
+//
+//scg:noalloc
 func (g Generator) ApplyInto(dst, p perm.Perm) {
 	p.ComposeInto(dst, g.pi)
 }
@@ -141,11 +145,13 @@ func (g Generator) Inverse() Generator {
 	case KindRotation:
 		inv.name = fmt.Sprintf("R-%d", g.dim)
 		inv.dim = -g.dim
-	default:
+	case KindTransposition, KindSwap:
 		// Transpositions and swaps are involutions; keep the label.
 		if !g.IsInvolution() {
 			inv.name = g.name + "'"
 		}
+	default:
+		panic(fmt.Sprintf("gens: unknown kind %d", int(g.kind)))
 	}
 	return inv
 }
@@ -332,6 +338,8 @@ func MustNewSet(gs ...Generator) *Set {
 }
 
 // K returns the number of symbols the set acts on.
+//
+//scg:noalloc
 func (s *Set) K() int { return s.gens[0].K() }
 
 // Len returns the number of generators (= out-degree of the Cayley graph).
@@ -395,6 +403,8 @@ func (s *Set) Decode(route []GenIndex) []Generator {
 // ping-pong scratch; dst, tmp and u must all have length K() and must
 // not alias each other.  It is the bulk engine's decoder-free way to
 // verify where a compact route leads.
+//
+//scg:noalloc
 func (s *Set) ReplayInto(dst, tmp, u perm.Perm, route []GenIndex) {
 	k := s.K()
 	if len(dst) != k || len(tmp) != k || len(u) != k {

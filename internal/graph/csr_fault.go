@@ -115,6 +115,8 @@ func (s SurvivorStats) ReachableFraction() float64 {
 // partials in worker order, so the result is independent of
 // GOMAXPROCS.  dead may be nil (no node faults); len(dead), when non
 // nil, must equal Order().
+//
+//scg:deterministic
 func (c *CSR) SurvivorStatsUnder(dead []bool, arcDown ArcDownFunc) SurvivorStats {
 	n := c.Order()
 	if dead != nil && len(dead) != n {
@@ -218,6 +220,8 @@ const MaxReachMatrixNodes = 16384
 // ReachMatrixUnder computes the full survivor reachability matrix
 // with batched masked MS-BFS.  Batches write disjoint row ranges, so
 // the parallel fill is race-free and the result deterministic.
+//
+//scg:deterministic
 func (c *CSR) ReachMatrixUnder(dead []bool, arcDown ArcDownFunc) (*ReachMatrix, error) {
 	n := c.Order()
 	if n > MaxReachMatrixNodes {

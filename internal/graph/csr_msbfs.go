@@ -1,3 +1,4 @@
+//scg:deterministic
 package graph
 
 import "math/bits"
@@ -15,6 +16,10 @@ import "math/bits"
 // instead of once per source, and the per-arc work is a single
 // 64-wide AND-NOT/OR.  Per-source eccentricities, distance sums, and
 // reach counts fall out of the set bits as each level settles.
+//
+// The scg:deterministic directive on this file's package clause marks
+// every reduction here: workers merge their partials in batch order,
+// so results are bit-identical for any GOMAXPROCS.
 
 // msScratch is the per-worker state for one 64-source batch: visited,
 // current-frontier and next-frontier masks per node, plus the active

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The determinism rule.
+//
+// Reductions over the MS-BFS analytics, the bulk router, and the sim
+// sweeps promise bit-identical results regardless of GOMAXPROCS or
+// run count; the CLI promises reproducibility from -seed.  Functions
+// annotated //scg:deterministic (per declaration, or file-wide via a
+// //scg:deterministic line above the package clause) carry that
+// promise, and this rule bans the three stdlib escape hatches that
+// silently break it:
+//
+//   - ranging over a map: Go randomizes iteration order by design, so
+//     any ordered output derived from it differs run to run
+//   - time.Now (and Since, which calls it): wall-clock reads belong in
+//     measurement harnesses, not deterministic pipelines
+//   - the global math/rand source (rand.Intn, rand.Shuffle, ...):
+//     deterministic code draws from an injected seeded *rand.Rand;
+//     constructing one (rand.New, rand.NewSource) stays legal
+
+func runDeterminism(m *Module, pkg *Package) []Finding {
+	var out []Finding
+	funcsOf(pkg, func(obj types.Object, fd *ast.FuncDecl) {
+		if !m.Deterministic(obj) {
+			return
+		}
+		info := pkg.Info
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if _, isMap := types.Unalias(info.TypeOf(x.X)).Underlying().(*types.Map); isMap {
+					out = append(out, m.finding("determinism", x,
+						"ranges over a map in //scg:deterministic code",
+						"iterate a sorted key slice instead (build it in an unannotated helper)"))
+				}
+			case *ast.CallExpr:
+				fn, ok := calleeOf(info, x).(*types.Func)
+				if !ok {
+					return true
+				}
+				switch fn.FullName() {
+				case "time.Now", "time.Since", "time.Until":
+					out = append(out, m.finding("determinism", x,
+						"reads the wall clock in //scg:deterministic code",
+						"keep timing in the measurement harness; pass durations in as data"))
+				default:
+					if p := fn.Pkg(); p != nil && p.Path() == "math/rand" && fn.Type().(*types.Signature).Recv() == nil {
+						switch fn.Name() {
+						case "New", "NewSource", "NewZipf":
+							// Constructing an explicitly seeded generator is the fix,
+							// not the violation.
+						default:
+							out = append(out, m.finding("determinism", x,
+								"draws from the global math/rand source in //scg:deterministic code",
+								"thread a seeded *rand.Rand (rand.New(rand.NewSource(seed))) through the call chain"))
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The family-exhaustive rule.
+//
+// The paper defines exactly ten super Cayley families
+// (MS/RS/Complete-RS/MR/RR/Complete-RR/IS/MIS/RIS/Complete-RIS), and
+// the per-family case analyses behind its theorems are only sound
+// when every family is handled.  This rule makes that mechanical:
+// every switch whose tag has one of the configured enum types must
+// either list every enumerator in its cases or carry a default that
+// fails loudly (panic, os.Exit, log.Fatal*, or a return built from
+// fmt.Errorf / errors.New).  Silently-falling-through defaults — the
+// classic way an eleventh family or a forgotten rotator variant slips
+// past review — are findings.
+
+// exhaustiveEnums lists the enum types the rule enforces, as
+// "pkgpath.TypeName".  Adding a type here (e.g. the nucleus/super
+// style enums) extends the rule to its switches module-wide.
+var exhaustiveEnums = map[string]bool{
+	"supercayley/internal/core.Family": true,
+	"supercayley/internal/gens.Kind":   true,
+	"fixture/exhaustive_bad.Shade":     true, // self-test fixture enum
+	"fixture/exhaustive_ok.Shade":      true,
+}
+
+func runExhaustive(m *Module, pkg *Package) []Finding {
+	var out []Finding
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := namedOf(info.TypeOf(sw.Tag))
+			if named == nil || !exhaustiveEnums[typeKey(named)] {
+				return true
+			}
+			members := enumMembers(named)
+			if len(members) == 0 {
+				return true
+			}
+			covered := map[int64]bool{}
+			var defaultBody []ast.Stmt
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					defaultBody = cc.Body
+					continue
+				}
+				for _, e := range cc.List {
+					if v, ok := constValue(info, e); ok {
+						covered[v] = true
+					}
+				}
+			}
+			var missing []string
+			for _, mem := range members {
+				if !covered[mem.value] {
+					missing = append(missing, mem.name)
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			if hasDefault {
+				if failsLoudly(info, defaultBody) {
+					return true
+				}
+				out = append(out, m.finding("family-exhaustive", sw,
+					"switch on "+typeKey(named)+" has a silent default while missing "+strings.Join(missing, ", "),
+					"enumerate the missing cases, or make the default panic / return an error"))
+				return true
+			}
+			out = append(out, m.finding("family-exhaustive", sw,
+				"switch on "+typeKey(named)+" misses "+strings.Join(missing, ", "),
+				"add the missing cases, or a default that fails loudly"))
+			return true
+		})
+	}
+	return out
+}
+
+type enumMember struct {
+	name  string
+	value int64
+}
+
+// enumMembers collects the package-level constants of the named type,
+// ordered by value — the enumerators of the enum.
+func enumMembers(named *types.Named) []enumMember {
+	tpkg := named.Obj().Pkg()
+	if tpkg == nil {
+		return nil
+	}
+	var out []enumMember
+	scope := tpkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if v, ok := constant.Int64Val(constant.ToInt(c.Val())); ok {
+			out = append(out, enumMember{name: name, value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	// Distinct constants may share a value (aliases); count each value
+	// once under its first name.
+	dedup := out[:0]
+	seen := map[int64]bool{}
+	for _, mem := range out {
+		if !seen[mem.value] {
+			seen[mem.value] = true
+			dedup = append(dedup, mem)
+		}
+	}
+	return dedup
+}
+
+// constValue resolves a case expression to its integer constant value.
+func constValue(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(tv.Value))
+}
+
+// failsLoudly reports whether a default body guarantees the missing
+// cases cannot pass silently: it panics, exits, or returns an
+// explicitly constructed error.
+func failsLoudly(info *types.Info, body []ast.Stmt) bool {
+	loud := false
+	hasErrReturn := false
+	for _, stmt := range body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch callee := calleeOf(info, call).(type) {
+			case *types.Builtin:
+				if callee.Name() == "panic" {
+					loud = true
+				}
+			case *types.Func:
+				full := callee.FullName()
+				switch full {
+				case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+					loud = true
+				case "fmt.Errorf", "errors.New":
+					hasErrReturn = true
+				}
+			}
+			return true
+		})
+		if ret, ok := stmt.(*ast.ReturnStmt); ok && hasErrReturn {
+			_ = ret
+			loud = true
+		}
+	}
+	return loud
+}

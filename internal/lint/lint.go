@@ -1,0 +1,281 @@
+// Package lint is scglint: a standard-library-only static-analysis
+// suite enforcing the repository's cross-cutting invariants — the
+// conventions the compiler cannot see but the routing, analytics and
+// simulation engines rely on.
+//
+// Five analyzers run over every type-checked package of the module:
+//
+//   - noalloc: functions annotated //scg:noalloc (the zero-alloc
+//     routing kernels and their hot-path callees) must stay free of
+//     heap-allocating constructs.
+//   - family-exhaustive: every switch on core.Family or gens.Kind must
+//     cover all enumerators or fail loudly in its default, so the ten
+//     super Cayley families of the paper are handled everywhere.
+//   - determinism: functions (or whole files) annotated
+//     //scg:deterministic may not iterate maps, read the wall clock, or
+//     draw from the global math/rand source.
+//   - scratch-hygiene: Into-style and *Scratch-taking APIs must not
+//     retain caller-owned buffers or leak pooled scratch memory.
+//   - parallel-hygiene: goroutine literals must index shared slices by
+//     goroutine-local values, and sync.Pool Get/Put/New types must
+//     agree.
+//
+// The suite is built on go/parser, go/ast, go/types and go/importer
+// alone, so it runs offline with no dependency beyond the Go
+// distribution.  cmd/scglint is the CLI; ci.sh gates on it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Annotation directives.  The grammar is the standard Go directive
+// form — `//scg:<name>` with no space after the slashes — placed in
+// the doc comment of a function declaration, or (deterministic only)
+// in the comment group directly above a file's package clause, which
+// marks every function in that file.
+const (
+	// DirectiveNoalloc marks a function that must not allocate.
+	DirectiveNoalloc = "scg:noalloc"
+	// DirectiveDeterministic marks a function (or file) whose output
+	// must not depend on scheduling, map order, time, or hidden
+	// randomness.
+	DirectiveDeterministic = "scg:deterministic"
+)
+
+// Finding is one rule violation: where, what, and how to fix it.
+type Finding struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+	Hint string
+}
+
+// String renders the finding in the file:line:col style editors and CI
+// logs understand.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
+	if f.Hint != "" {
+		s += " — fix: " + f.Hint
+	}
+	return s
+}
+
+// Analyzer is one named rule over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(m *Module, pkg *Package) []Finding
+}
+
+// Analyzers returns the full rule set in a fixed order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		{Name: "noalloc", Doc: "//scg:noalloc functions must not allocate", Run: runNoalloc},
+		{Name: "family-exhaustive", Doc: "switches on core.Family / gens.Kind must cover every enumerator or fail loudly", Run: runExhaustive},
+		{Name: "determinism", Doc: "//scg:deterministic code must not use map order, time.Now, or global math/rand", Run: runDeterminism},
+		{Name: "scratch-hygiene", Doc: "Into/Scratch APIs must not retain or leak caller-owned buffers", Run: runScratch},
+		{Name: "parallel-hygiene", Doc: "goroutines must partition shared slices; sync.Pool types must agree", Run: runParallel},
+	}
+}
+
+// Lint runs every analyzer over the given packages (default: the whole
+// module) and returns the findings sorted by position.
+func (m *Module) Lint(pkgs ...*Package) []Finding {
+	if len(pkgs) == 0 {
+		pkgs = m.Pkgs
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			out = append(out, a.Run(m, pkg)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// hasDirective reports whether the comment group carries the directive
+// (exact, or followed by free-form text after a space).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue
+		}
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// indexAnnotations records every annotated function of pkg in the
+// module-wide directive indexes; called once per checked package.
+func (m *Module) indexAnnotations(pkg *Package) {
+	for _, f := range pkg.Files {
+		fileDeterministic := hasDirective(f.Doc, DirectiveDeterministic)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj := pkg.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			m.decls[obj] = fd
+			if hasDirective(fd.Doc, DirectiveNoalloc) {
+				m.noalloc[obj] = true
+			}
+			if fileDeterministic || hasDirective(fd.Doc, DirectiveDeterministic) {
+				m.deterministic[obj] = true
+			}
+		}
+	}
+}
+
+// Noalloc reports whether fn (a *types.Func definition object) is
+// annotated //scg:noalloc.
+func (m *Module) Noalloc(fn types.Object) bool { return m.noalloc[fn] }
+
+// Deterministic reports whether fn is annotated //scg:deterministic
+// (directly or via its file).
+func (m *Module) Deterministic(fn types.Object) bool { return m.deterministic[fn] }
+
+// finding builds a Finding at the given node.
+func (m *Module) finding(rule string, n ast.Node, msg, hint string) Finding {
+	return Finding{Rule: rule, Pos: m.Fset.Position(n.Pos()), Msg: msg, Hint: hint}
+}
+
+// funcsOf yields every function declaration of pkg with a body,
+// paired with its definition object.
+func funcsOf(pkg *Package, yield func(obj types.Object, fd *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+				yield(obj, fd)
+			}
+		}
+	}
+}
+
+// calleeOf resolves the function object a call expression invokes:
+// the *types.Func for named functions and methods, the *types.Builtin
+// for builtins, nil for indirect calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	b, ok := calleeOf(info, call).(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isConversion reports whether the call expression is a type
+// conversion rather than a function call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// rootIdent peels selectors, indexes, slices, stars and parens off an
+// expression and returns the identifier at its base, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// paramObjs collects the definition objects of a function's parameters
+// and receiver.
+func paramObjs(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	if fd.Recv != nil {
+		collect(fd.Recv)
+	}
+	collect(fd.Type.Params)
+	return out
+}
+
+// namedOf unwraps a type to its *types.Named, looking through
+// pointers and aliases; nil if there is none.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeKey renders a named type as "pkgpath.Name" for rule
+// configuration lookups.
+func typeKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

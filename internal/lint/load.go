@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Offline module loader: parse and type-check every package of the
+// module with nothing but the standard library.  Module-internal
+// imports resolve against the parsed source tree; standard-library
+// imports resolve through go/importer's source importer, which reads
+// GOROOT/src directly — no network, no x/tools, no export data.
+
+// Package is one type-checked package plus everything the analyzers
+// need: its syntax trees, its types.Package, and the fully populated
+// types.Info.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// pkgSrc is a parsed-but-not-yet-checked module package.
+type pkgSrc struct {
+	importPath string
+	dir        string
+	files      []*ast.File
+}
+
+// Module is the loaded view of one Go module: every package parsed,
+// type-checked, and indexed for //scg annotations.  It doubles as the
+// types.Importer the checker uses, so module-internal imports share
+// one object world (a *types.Func seen at a call site is pointer-equal
+// to the one seen at its declaration, across packages).
+type Module struct {
+	Root string // filesystem root (directory holding go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // module packages, in deterministic load order
+
+	std  types.ImporterFrom
+	srcs map[string]*pkgSrc
+	done map[string]*Package
+	busy map[string]bool
+
+	// Annotation indexes, keyed by the *types.Func definition object.
+	noalloc       map[types.Object]bool
+	deterministic map[types.Object]bool
+	decls         map[types.Object]*ast.FuncDecl
+}
+
+// FindModuleRoot ascends from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule parses and type-checks every package under root
+// (skipping testdata, vendor and hidden directories) and returns the
+// loaded module.  Test files are excluded: the analyzers police
+// production code, and fixtures live under testdata where the go tool
+// ignores them too.
+func LoadModule(root string) (*Module, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:          root,
+		Path:          modPath,
+		Fset:          token.NewFileSet(),
+		srcs:          map[string]*pkgSrc{},
+		done:          map[string]*Package{},
+		busy:          map[string]bool{},
+		noalloc:       map[types.Object]bool{},
+		deterministic: map[types.Object]bool{},
+		decls:         map[types.Object]*ast.FuncDecl{},
+	}
+	std, ok := importer.ForCompiler(m.Fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	m.std = std
+
+	if err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		src, err := m.parseDir(p)
+		if err != nil {
+			return err
+		}
+		if src == nil {
+			return nil // no buildable Go files here
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = path.Join(modPath, filepath.ToSlash(rel))
+		}
+		src.importPath = ip
+		m.srcs[ip] = src
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, 0, len(m.srcs))
+	for ip := range m.srcs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		pkg, err := m.ensure(ip)
+		if err != nil {
+			return nil, err
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	return m, nil
+}
+
+// LoadDir type-checks one extra directory (a lint fixture) against the
+// already-loaded module under the synthetic import path
+// "fixture/<base>".  The package is indexed for annotations but not
+// added to Pkgs, so module-wide sweeps stay fixture-free.
+func (m *Module) LoadDir(dir string) (*Package, error) {
+	src, err := m.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	src.importPath = path.Join("fixture", filepath.Base(dir))
+	return m.check(src)
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// parseDir parses the non-test Go files of one directory (nil if it
+// has none), with comments — the annotation directives live there.
+func (m *Module) parseDir(dir string) (*pkgSrc, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &pkgSrc{dir: dir, files: files}, nil
+}
+
+// ensure type-checks the module package with the given import path,
+// memoized; it is the recursion the Import method below re-enters.
+func (m *Module) ensure(ip string) (*Package, error) {
+	if pkg, ok := m.done[ip]; ok {
+		return pkg, nil
+	}
+	src, ok := m.srcs[ip]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown module package %s", ip)
+	}
+	return m.check(src)
+}
+
+// check runs the type checker over one parsed package.
+func (m *Module) check(src *pkgSrc) (*Package, error) {
+	if m.busy[src.importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", src.importPath)
+	}
+	m.busy[src.importPath] = true
+	defer delete(m.busy, src.importPath)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: m}
+	tpkg, err := conf.Check(src.importPath, m.Fset, src.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", src.importPath, err)
+	}
+	pkg := &Package{
+		ImportPath: src.importPath,
+		Dir:        src.dir,
+		Files:      src.files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	m.done[src.importPath] = pkg
+	m.indexAnnotations(pkg)
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal paths resolve
+// against the parsed tree, everything else against GOROOT source.
+func (m *Module) Import(p string) (*types.Package, error) {
+	return m.ImportFrom(p, m.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (m *Module) ImportFrom(p, dir string, mode types.ImportMode) (*types.Package, error) {
+	if _, ok := m.srcs[p]; ok {
+		pkg, err := m.ensure(p)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.ImportFrom(p, dir, mode)
+}

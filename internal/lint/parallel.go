@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The parallel-hygiene rule.
+//
+// The repo's parallel skeleton (graph.parallelChunks, the bulk router,
+// the sim sweeps) keeps goroutines race-free by construction: each
+// worker writes only its own partition of a shared slice, indexed by
+// values passed into (or derived inside) the goroutine literal — never
+// by variables captured from the enclosing scope, whose value the
+// spawner may change or share.  Part one of this rule enforces that
+// shape: inside a `go func(...) {...}` literal, an assignment through
+// an index into a captured slice/map must use indexes built only from
+// goroutine-local variables.
+//
+// Part two guards the other concurrency workhorse: every sync.Pool
+// must agree on one element type across its New constructor, its Get
+// assertions, and its Put arguments, keyed by the pool variable or
+// field.  A mismatched Put poisons the pool with values whose Get
+// assertion will panic later, far from the bug.
+
+func runParallel(m *Module, pkg *Package) []Finding {
+	var out []Finding
+	out = append(out, checkGoroutineIndexing(m, pkg)...)
+	out = append(out, checkPoolConsistency(m, pkg)...)
+	return out
+}
+
+func checkGoroutineIndexing(m *Module, pkg *Package) []Finding {
+	var out []Finding
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+					if !ok {
+						continue
+					}
+					base := rootIdent(idx.X)
+					if base == nil || !capturedVar(info, lit, base) {
+						continue // goroutine-local target: no sharing possible
+					}
+					if id := capturedIndexIdent(info, lit, idx.Index); id != nil {
+						out = append(out, m.finding("parallel-hygiene", lhs,
+							"goroutine writes shared "+base.Name+" at index "+id.Name+" captured from the enclosing scope",
+							"pass the partition bounds as goroutine parameters (go func(w, lo, hi int) {...}(w, lo, hi))"))
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// capturedVar reports whether the identifier denotes a variable
+// declared outside the function literal — i.e. captured by reference.
+func capturedVar(info *types.Info, lit *ast.FuncLit, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() < lit.Pos() || v.Pos() >= lit.End()
+}
+
+// capturedIndexIdent returns the first variable identifier inside an
+// index expression that is captured from outside the literal, or nil
+// if every index component is goroutine-local (parameters and locals).
+func capturedIndexIdent(info *types.Info, lit *ast.FuncLit, index ast.Expr) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found != nil {
+			return found == nil
+		}
+		if capturedVar(info, lit, id) {
+			found = id
+		}
+		return true
+	})
+	return found
+}
+
+// poolUse is one typed interaction with a sync.Pool: its New closure's
+// return, a Get assertion, or a Put argument.
+type poolUse struct {
+	kind string // "New", "Get", "Put"
+	typ  types.Type
+	node ast.Node
+}
+
+func checkPoolConsistency(m *Module, pkg *Package) []Finding {
+	info := pkg.Info
+	uses := map[types.Object][]poolUse{}
+	record := func(obj types.Object, u poolUse) {
+		if obj != nil && u.typ != nil {
+			uses[obj] = append(uses[obj], u)
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ValueSpec: // var pool = sync.Pool{New: ...}
+				for i, name := range x.Names {
+					if i < len(x.Values) {
+						if t := poolNewType(info, x.Values[i]); t != nil {
+							record(info.Defs[name], poolUse{kind: "New", typ: t, node: x.Values[i]})
+						}
+					}
+				}
+			case *ast.AssignStmt: // p.pool = sync.Pool{New: ...}
+				for i, lhs := range x.Lhs {
+					if i < len(x.Rhs) {
+						if t := poolNewType(info, x.Rhs[i]); t != nil {
+							record(exprVar(info, lhs), poolUse{kind: "New", typ: t, node: x.Rhs[i]})
+						}
+					}
+				}
+			case *ast.KeyValueExpr: // &Router{pool: sync.Pool{New: ...}}
+				if key, ok := x.Key.(*ast.Ident); ok {
+					if t := poolNewType(info, x.Value); t != nil {
+						record(info.Uses[key], poolUse{kind: "New", typ: t, node: x.Value})
+					}
+				}
+			case *ast.TypeAssertExpr: // pool.Get().(*T)
+				call, ok := ast.Unparen(x.X).(*ast.CallExpr)
+				if ok && x.Type != nil {
+					if obj := poolMethodTarget(info, call, "Get"); obj != nil {
+						record(obj, poolUse{kind: "Get", typ: info.TypeOf(x.Type), node: x})
+					}
+				}
+			case *ast.CallExpr: // pool.Put(v)
+				if obj := poolMethodTarget(info, x, "Put"); obj != nil && len(x.Args) == 1 {
+					if t := info.TypeOf(x.Args[0]); t != nil && !isUntypedNil(t) {
+						record(obj, poolUse{kind: "Put", typ: t, node: x.Args[0]})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+	for _, pool := range sortedPoolObjs(uses) {
+		us := uses[pool]
+		ref := us[0]
+		for _, u := range us {
+			if u.kind == "New" {
+				ref = u
+				break
+			}
+		}
+		for _, u := range us {
+			if !types.Identical(u.typ, ref.typ) {
+				out = append(out, m.finding("parallel-hygiene", u.node,
+					"sync.Pool "+pool.Name()+" "+u.kind+" uses "+u.typ.String()+" but its "+ref.kind+" uses "+ref.typ.String(),
+					"keep one element type per pool across New, Get assertions and Put calls"))
+			}
+		}
+	}
+	return out
+}
+
+// sortedPoolObjs orders pool objects by declaration position so the
+// findings come out deterministically.
+func sortedPoolObjs(uses map[types.Object][]poolUse) []types.Object {
+	objs := make([]types.Object, 0, len(uses))
+	for obj := range uses {
+		objs = append(objs, obj)
+	}
+	for i := 1; i < len(objs); i++ { // insertion sort: n is tiny
+		for j := i; j > 0 && objs[j].Pos() < objs[j-1].Pos(); j-- {
+			objs[j], objs[j-1] = objs[j-1], objs[j]
+		}
+	}
+	return objs
+}
+
+// poolNewType extracts the return type of the New closure from a
+// sync.Pool composite literal, or nil if e is not one.
+func poolNewType(info *types.Info, e ast.Expr) types.Type {
+	cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	named := namedOf(info.TypeOf(cl))
+	if named == nil || typeKey(named) != "sync.Pool" {
+		return nil
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "New" {
+			continue
+		}
+		lit, ok := ast.Unparen(kv.Value).(*ast.FuncLit)
+		if !ok {
+			return nil
+		}
+		var ret types.Type
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit && n != ast.Node(lit) {
+				return false
+			}
+			if rs, ok := n.(*ast.ReturnStmt); ok && len(rs.Results) == 1 && ret == nil {
+				ret = info.TypeOf(rs.Results[0])
+			}
+			return true
+		})
+		return ret
+	}
+	return nil
+}
+
+// poolMethodTarget matches a call to (*sync.Pool).<method> and returns
+// the variable or field object holding the pool.
+func poolMethodTarget(info *types.Info, call *ast.CallExpr, method string) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	return exprVar(info, sel.X)
+}
+
+// exprVar resolves an expression to the variable or field object at
+// its tip: `pool` → the var, `r.pool` → the field.
+func exprVar(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return obj
+		}
+		return info.Defs[x]
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok {
+			return s.Obj()
+		}
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// isUntypedNil reports whether t is the type of the predeclared nil.
+func isUntypedNil(t types.Type) bool {
+	b, ok := types.Unalias(t).(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The scratch-hygiene rule.
+//
+// The Into/Scratch calling convention is the backbone of the
+// zero-alloc API surface: the caller owns the destination buffer, the
+// scratch value owns its reusable workspace, and neither side may keep
+// a reference into the other's memory.  Two aliasing mistakes break
+// that contract silently:
+//
+//   - retention: an Into-style function stores a caller-owned buffer
+//     (a slice/pointer/map parameter) into its receiver or a package
+//     variable, so a later call scribbles over memory the caller
+//     thinks it owns exclusively;
+//   - leakage: a function returns memory reached through a *Scratch
+//     parameter, handing out a buffer that the next (possibly pooled)
+//     reuse of the scratch will overwrite.
+//
+// The rule scopes to functions named *Into or taking a parameter whose
+// type name ends in "Scratch", and flags both patterns.
+
+func runScratch(m *Module, pkg *Package) []Finding {
+	var out []Finding
+	info := pkg.Info
+	funcsOf(pkg, func(obj types.Object, fd *ast.FuncDecl) {
+		scratchParams := scratchParamObjs(info, fd)
+		if !strings.HasSuffix(fd.Name.Name, "Into") && len(scratchParams) == 0 {
+			return
+		}
+		recv := recvObj(info, fd)
+		params := paramObjs(info, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					if i >= len(x.Rhs) {
+						break
+					}
+					rhs := x.Rhs[i]
+					if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+						rhs = x.Rhs[0]
+					}
+					if !isReference(info.TypeOf(rhs)) {
+						continue
+					}
+					rroot := rootIdent(rhs)
+					if rroot == nil {
+						continue
+					}
+					robj := info.Uses[rroot]
+					if robj == nil || !params[robj] || robj == recv {
+						continue
+					}
+					if sinkIsPersistent(info, lhs, recv) {
+						out = append(out, m.finding("scratch-hygiene", x,
+							"retains caller-owned buffer "+rroot.Name+" beyond the call",
+							"copy the contents; never store a parameter slice/pointer in the receiver or a global"))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range x.Results {
+					e := ast.Unparen(res)
+					if _, isSel := e.(*ast.Ident); isSel {
+						continue // returning a parameter itself is the Into contract
+					}
+					root := rootIdent(e)
+					if root == nil || !isReference(info.TypeOf(e)) {
+						continue
+					}
+					if robj := info.Uses[root]; robj != nil && scratchParams[robj] {
+						out = append(out, m.finding("scratch-hygiene", res,
+							"returns memory owned by scratch value "+root.Name,
+							"copy into a caller-provided destination; scratch buffers are reused (and may be pooled)"))
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// scratchParamObjs collects the parameters whose (pointer-stripped)
+// type name ends in "Scratch".
+func scratchParamObjs(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if named := namedOf(obj.Type()); named != nil && strings.HasSuffix(named.Obj().Name(), "Scratch") {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// recvObj returns the receiver's definition object, or nil.
+func recvObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// sinkIsPersistent reports whether the assignment target outlives the
+// call: a field of the receiver, or a package-level variable.
+func sinkIsPersistent(info *types.Info, lhs ast.Expr, recv types.Object) bool {
+	root := rootIdent(lhs)
+	if root == nil {
+		return false
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	if recv != nil && obj == recv {
+		// A bare `recv = x` rebinds the local; only selector paths
+		// (recv.field = x) persist.
+		_, isSel := ast.Unparen(lhs).(*ast.SelectorExpr)
+		_, isIdx := ast.Unparen(lhs).(*ast.IndexExpr)
+		return isSel || isIdx
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// isReference reports whether values of type t alias underlying
+// storage: slices, pointers, and maps.
+func isReference(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+// Package determinism_bad breaks each clause of the determinism rule.
+package determinism_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+//scg:deterministic
+func order(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want determinism
+		out = append(out, k)
+	}
+	return out
+}
+
+//scg:deterministic
+func stamp() int64 {
+	return time.Now().UnixNano() // want determinism
+}
+
+//scg:deterministic
+func draw(n int) int {
+	return rand.Intn(n) // want determinism
+}

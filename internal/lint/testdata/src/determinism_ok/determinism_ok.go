@@ -1,0 +1,24 @@
+// Package determinism_ok stays within the determinism rule: slice
+// iteration in a caller-fixed order and an injected seeded generator.
+package determinism_ok
+
+import "math/rand"
+
+//scg:deterministic
+func total(keys []string, m map[string]int) int {
+	sum := 0
+	for _, k := range keys { // slice range: the caller fixed the order
+		sum += m[k]
+	}
+	return sum
+}
+
+//scg:deterministic
+func sample(r *rand.Rand, n int) int {
+	return r.Intn(n) // injected seeded generator: methods are fine
+}
+
+//scg:deterministic
+func fresh(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructing one is the fix
+}

@@ -1,0 +1,42 @@
+// Package exhaustive_bad switches on enums without covering them: the
+// registered fixture enum Shade and the real core.Family both fire.
+package exhaustive_bad
+
+import "supercayley/internal/core"
+
+// Shade is a three-value enum registered with the family-exhaustive
+// rule for self-testing.
+type Shade int
+
+const (
+	Light Shade = iota
+	Mid
+	Dark
+)
+
+func name(s Shade) string {
+	switch s { // want family-exhaustive
+	case Light:
+		return "light"
+	case Dark:
+		return "dark"
+	}
+	return "?"
+}
+
+func silent(s Shade) int {
+	switch s { // want family-exhaustive
+	case Light:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func directed(f core.Family) bool {
+	switch f { // want family-exhaustive
+	case core.MR, core.RR, core.CompleteRR:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+// Package exhaustive_ok satisfies the family-exhaustive rule with a
+// full enumeration and with a loudly-failing default.
+package exhaustive_ok
+
+import (
+	"fmt"
+
+	"supercayley/internal/core"
+)
+
+// Shade is a three-value enum registered with the family-exhaustive
+// rule for self-testing.
+type Shade int
+
+const (
+	Light Shade = iota
+	Mid
+	Dark
+)
+
+func name(s Shade) string {
+	switch s {
+	case Light:
+		return "light"
+	case Mid:
+		return "mid"
+	case Dark:
+		return "dark"
+	default:
+		panic(fmt.Sprintf("exhaustive_ok: unknown shade %d", int(s)))
+	}
+}
+
+func loud(f core.Family) (string, error) {
+	switch f {
+	case core.MS, core.RS, core.CompleteRS, core.MR, core.RR, core.CompleteRR:
+		return "rotator-or-swap", nil
+	default:
+		return "", fmt.Errorf("exhaustive_ok: unhandled family %v", f)
+	}
+}

@@ -1,0 +1,61 @@
+// Package noalloc_bad breaks every clause of the noalloc rule; the
+// lint self-test asserts exactly one finding per marked line.
+package noalloc_bad
+
+import "fmt"
+
+func helper() int { return 1 }
+
+//scg:noalloc
+func done() {}
+
+//scg:noalloc
+func grow(dst, extra []int) []int {
+	tmp := make([]int, len(extra)) // want noalloc
+	copy(tmp, extra)
+	dst2 := append(dst, 1) // want noalloc
+	_ = dst2
+	return dst
+}
+
+//scg:noalloc
+func lits() {
+	m := map[int]int{} // want noalloc
+	_ = m
+	s := []int{1, 2} // want noalloc
+	_ = s
+}
+
+//scg:noalloc
+func control() {
+	g := func() {} // want noalloc
+	_ = g
+	defer done() // want noalloc
+	go done()    // want noalloc
+}
+
+//scg:noalloc
+func concat(a, b string) string {
+	c := a + b // want noalloc
+	return c
+}
+
+//scg:noalloc
+func boxing(v int) any {
+	return any(v) // want noalloc
+}
+
+//scg:noalloc
+func callsOut(k int) int {
+	return helper() + k // want noalloc
+}
+
+//scg:noalloc
+func formats(v int) string {
+	return fmt.Sprintf("%d", v) // want noalloc
+}
+
+//scg:noalloc
+func news() *int {
+	return new(int) // want noalloc
+}

@@ -1,0 +1,37 @@
+// Package noalloc_ok exercises every allowance of the noalloc rule;
+// the lint self-test asserts zero findings.
+package noalloc_ok
+
+import "fmt"
+
+//scg:noalloc
+func fill(dst []int, v int) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+//scg:noalloc
+func extend(dst []int, n int) []int {
+	if n < 0 {
+		panic(fmt.Sprintf("noalloc_ok: bad n=%d", n)) // panic args are exempt
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, i) // self-append amortizes into spare capacity
+	}
+	return dst
+}
+
+//scg:noalloc
+func stack(k int) int {
+	var buf [16]int
+	tab := [4]int{1, 2, 3, 4} // array literals live on the stack
+	copy(buf[:], tab[:])
+	fill(buf[:k], k) // annotated callees are in the closure
+	return len(buf) + cap(tab)
+}
+
+//scg:noalloc
+func tail(dst []byte, b byte) []byte {
+	return append(dst, b) // returning the grown parameter is the contract
+}

@@ -1,0 +1,27 @@
+// Package parallel_bad races a shared slice on a captured index and
+// runs a type-inconsistent sync.Pool.
+package parallel_bad
+
+import "sync"
+
+func squares(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i * i // want parallel-hygiene
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+var pool = sync.Pool{New: func() any { return new(int) }}
+
+func misuse() {
+	v := pool.Get().(*int64) // want parallel-hygiene
+	_ = v
+	pool.Put("poison") // want parallel-hygiene
+}

@@ -1,0 +1,37 @@
+// Package parallel_ok partitions shared slices by goroutine-local
+// bounds and keeps its sync.Pool type-consistent.
+package parallel_ok
+
+import "sync"
+
+func squares(n, workers int) []int {
+	out := make([]int, n)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = i * i // i is goroutine-local: a private partition
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+var pool = sync.Pool{New: func() any { return new(int) }}
+
+func reuse() int {
+	v := pool.Get().(*int)
+	*v++
+	out := *v
+	pool.Put(v)
+	return out
+}

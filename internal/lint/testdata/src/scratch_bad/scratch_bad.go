@@ -1,0 +1,40 @@
+// Package scratch_bad violates the Into/Scratch buffer-ownership
+// contract in both directions: retaining caller buffers and leaking
+// scratch-owned memory.
+package scratch_bad
+
+// Encoder caches a buffer between calls.
+type Encoder struct {
+	buf []byte
+}
+
+var keep []int
+
+// FillInto retains the caller's destination across calls.
+func (e *Encoder) FillInto(dst []byte) {
+	e.buf = dst // want scratch-hygiene
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// SaveInto parks the caller's buffer in a package global.
+func SaveInto(dst []int) {
+	keep = dst // want scratch-hygiene
+	for i := range keep {
+		keep[i] = i
+	}
+}
+
+// SumScratch is reusable (possibly pooled) workspace.
+type SumScratch struct {
+	tmp []int
+}
+
+// TotalsInto hands scratch-owned memory back to the caller.
+func TotalsInto(dst []int, s *SumScratch) []int {
+	for i := range dst {
+		s.tmp[0] += dst[i]
+	}
+	return s.tmp // want scratch-hygiene
+}

@@ -1,0 +1,33 @@
+// Package scratch_ok follows the buffer-ownership contract: copy
+// instead of retaining, and return only caller-owned memory.
+package scratch_ok
+
+// Encoder caches a private buffer between calls.
+type Encoder struct {
+	buf []byte
+}
+
+// FillInto grows its own buffer and copies; the parameter is never
+// retained.
+func (e *Encoder) FillInto(dst []byte) {
+	if cap(e.buf) < len(dst) {
+		e.buf = make([]byte, len(dst))
+	}
+	e.buf = e.buf[:len(dst)]
+	copy(e.buf, dst)
+}
+
+// SumScratch is reusable workspace.
+type SumScratch struct {
+	tmp []int
+}
+
+// TotalInto accumulates via scratch but hands back only dst.
+func TotalInto(dst []int, s *SumScratch) []int {
+	s.tmp = s.tmp[:0]
+	for i := range dst {
+		s.tmp = append(s.tmp, dst[i])
+		dst[i] = s.tmp[i]
+	}
+	return dst // returning the caller's own buffer is the contract
+}

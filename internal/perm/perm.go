@@ -139,6 +139,8 @@ func (p Perm) Compose(q Perm) Perm {
 // ComposeInto is Compose writing into dst (which must have the right
 // length and may not alias p or q).  It avoids allocation on hot
 // routing paths.
+//
+//scg:noalloc
 func (p Perm) ComposeInto(dst, q Perm) {
 	for i := range dst {
 		dst[i] = p[q[i]-1]
@@ -155,6 +157,8 @@ func (p Perm) Inverse() Perm {
 // InverseInto is Inverse writing into dst (which must have the right
 // length and may not alias p).  Together with ComposeInto it lets the
 // routing hot path form the pair quotient v⁻¹∘u with zero allocations.
+//
+//scg:noalloc
 func (p Perm) InverseInto(dst Perm) {
 	if len(dst) != len(p) {
 		panic(fmt.Sprintf("perm: InverseInto length mismatch %d != %d", len(dst), len(p)))
@@ -278,6 +282,8 @@ func Unrank(k int, rank int64) Perm {
 // (whose length determines k) without allocating.  It is safe for
 // concurrent use with distinct destination buffers and is the
 // workhorse of the parallel CSR materializer in internal/graph.
+//
+//scg:noalloc
 func UnrankInto(p Perm, rank int64) {
 	k := len(p)
 	if k < 1 || k > MaxK {

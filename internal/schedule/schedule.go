@@ -134,8 +134,11 @@ func TheoremBound(nw *core.Network) int {
 			return 1
 		}
 		return 2
+	case core.RS, core.MR, core.RR, core.CompleteRR, core.RIS:
+		return 0 // the paper states no all-port bound for these
+	default:
+		panic(fmt.Sprintf("schedule: unknown family %d", int(nw.Family())))
 	}
-	return 0
 }
 
 func maxInt(a, b int) int {

@@ -246,6 +246,8 @@ func routeOne(nt *Net, router Router, plan *FaultPlan, policy ReroutePolicy, src
 // reductions, so the result is deterministic across runs and worker
 // counts.  Aborted pairs are reclassified as PairUnreachable when the
 // survivor subgraph indeed disconnects them.
+//
+//scg:deterministic
 func RouteSweep(nt *Net, router Router, plan *FaultPlan, pairs int, seed int64, policy ReroutePolicy) (SweepResult, error) {
 	if pairs < 1 {
 		return SweepResult{}, fmt.Errorf("sim: route sweep needs at least one pair")
