@@ -42,11 +42,60 @@ go test -race ./...
 echo "== go test -race ./internal/sim (fault layer)"
 go test -race -count=2 ./internal/sim/...
 
+# The telemetry registry is written from every routing worker at once;
+# hammer its concurrent counters/snapshots specifically (monotonicity
+# and byte-identical quiesced snapshots live in TestConcurrentHammer).
+echo "== go test -race ./internal/obs (telemetry layer)"
+go test -race -count=2 ./internal/obs
+
 # Routing-engine smoke: run every Route benchmark once, plus the
 # allocation-regression guards (tagged !race — sync.Pool drops items
 # under the race detector, so they cannot run in the -race pass).
+# TestAppendRouteRanksWarmAllocFree is the telemetry gate: it proves
+# the instrumented warm path (hop page + sampler) still allocates zero.
 echo "== bench smoke (-bench=Route -benchtime=1x) + alloc guards"
 go test -run='AllocFree$' -bench=Route -benchtime=1x ./internal/core
+
+# scg serve smoke: boot the debug endpoint on an ephemeral port, then
+# check /metrics exposes the route-cache counters and the pprof
+# handlers answer.
+echo "== scg serve smoke"
+tmpdir=$(mktemp -d)
+serve_pid=""
+cleanup() {
+    if [ -n "$serve_pid" ]; then
+        kill "$serve_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+go build -o "$tmpdir/scg" ./cmd/scg
+"$tmpdir/scg" serve -addr 127.0.0.1:0 >"$tmpdir/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    addr=$(sed -n 's|^scg serve: listening on http://||p' "$tmpdir/serve.log")
+    if [ -n "$addr" ]; then break; fi
+    sleep 0.25
+done
+if [ -z "$addr" ]; then
+    echo "scg serve never reported its listen address:" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+fi
+# Fetch to a file before grepping: grep -q closing the pipe early
+# would otherwise make curl report a spurious write error.
+curl -fsS "http://$addr/metrics" >"$tmpdir/metrics.txt"
+grep -q '^scg_route_cache_hits_total ' "$tmpdir/metrics.txt" || {
+    echo "/metrics is missing scg_route_cache_hits_total" >&2
+    exit 1
+}
+curl -fsS -o /dev/null "http://$addr/debug/pprof/cmdline" || {
+    echo "/debug/pprof/cmdline did not answer" >&2
+    exit 1
+}
+kill "$serve_pid" 2>/dev/null || true
+serve_pid=""
 
 echo "== fuzz smoke"
 go test -run='^$' -fuzz=FuzzLehmerRoundTrip -fuzztime=10s ./internal/perm

@@ -1,22 +1,9 @@
-// Command scg is the command-line interface to the super Cayley graph
-// library: inspect networks, route packets, print all-port emulation
-// schedules, measure embeddings, play the ball-arrangement game, and
-// simulate communication tasks.
-//
-// Usage:
-//
-//	scg info     -family MS -l 4 -n 3
-//	scg route    -family MS -l 2 -n 2 -from "(3 1 4 5 2)" -to "(1 2 3 4 5)"
-//	scg schedule -family Complete-RS -l 4 -n 3
-//	scg embed    -family IS -k 5 -guest star
-//	scg bag      -family MS -l 2 -n 2 -seed 7
-//	scg tasks    -family MS -l 2 -n 2 -task mnb -model all-port
-//	scg faults   -family MS -l 3 -n 2 -mode random -nodefrac 0.05 -linkfrac 0.05
-//
-// Every run is reproducible from its flags: all randomness flows from
-// the -seed flag through seededRand, never from the global math/rand
-// source or the clock.  The scg:deterministic directive below makes
-// scglint enforce that for every subcommand in this file.
+// The scg:deterministic directive covers every subcommand in this
+// file: scglint bans wall-clock reads and global randomness, so each
+// run is reproducible from its flags alone.  The observability
+// commands (serve, stats, bench-obs) legitimately need the clock and
+// the network and live in serve.go, outside the directive.  See
+// doc.go for the package documentation.
 //
 //scg:deterministic
 package main
@@ -64,6 +51,12 @@ func main() {
 		err = cmdFaults(args)
 	case "bench-routes":
 		err = cmdBenchRoutes(args)
+	case "bench-obs":
+		err = cmdBenchObs(args)
+	case "serve":
+		err = cmdServe(args)
+	case "stats":
+		err = cmdStats(args)
 	case "export":
 		err = cmdExport(args)
 	case "compare":
@@ -81,8 +74,10 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `scg — super Cayley graphs (Yeh–Varvarigos–Lee, PaCT-99)
+// usageText is the command roster usage() prints.  A test parses the
+// subcommand switch in main() and asserts every case is listed here,
+// so adding a command without documenting it fails the build.
+const usageText = `scg — super Cayley graphs (Yeh–Varvarigos–Lee, PaCT-99)
 
 commands:
   info      network parameters, degree, diameter (small instances)
@@ -93,10 +88,16 @@ commands:
   tasks     simulate MNB / TE communication tasks (Corollaries 2–3)
   faults    inject node/link faults, reroute adaptively, report degradation
   bench-routes  measure pair-routing throughput (legacy vs cached engine), write BENCH_routes.json
+  bench-obs measure telemetry overhead (obs disabled vs enabled), write BENCH_obs.json
+  serve     HTTP debug endpoint: /metrics, /metrics.json, /trace/routes, /debug/vars, /debug/pprof/*
+  stats     route a seeded workload, then dump the metrics registry once
   export    write the network as Graphviz DOT
   compare   degree/diameter table across families and k
 
-run "scg <command> -h" for flags`)
+run "scg <command> -h" for flags`
+
+func usage() {
+	fmt.Fprintln(os.Stderr, usageText)
 }
 
 // seededRand builds the one explicitly seeded generator a subcommand

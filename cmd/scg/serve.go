@@ -1,0 +1,186 @@
+// Observability subcommands: serve, stats, and bench-obs.  They live
+// outside main.go on purpose — main.go carries a file-wide
+// scg:deterministic directive, and these commands legitimately touch
+// the wall clock and the network, which that directive bans.
+
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"supercayley/internal/comm"
+	"supercayley/internal/core"
+	"supercayley/internal/obs"
+	"supercayley/internal/sim"
+)
+
+// newServeMux wires the debug endpoints `scg serve` exposes.  Split
+// from cmdServe so tests can drive it through httptest without
+// binding a real listener.
+func newServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(obs.Default.PrometheusText())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		blob, err := obs.Default.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+	})
+	mux.HandleFunc("/trace/routes", func(w http.ResponseWriter, _ *http.Request) {
+		events := obs.RouteTrace.Snapshot()
+		if events == nil {
+			events = []obs.TraceEvent{} // render an empty ring as [], not null
+		}
+		blob, err := json.MarshalIndent(events, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(blob, '\n'))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// routeWorkload routes a seeded zipfian workload through a fresh
+// cached engine on nw, populating the registry, the route cache
+// collectors, and the route tracer as a side effect.
+func routeWorkload(nw *core.Network, pairs int, seed int64, skew float64) (sim.ThroughputResult, error) {
+	nt, err := comm.SCGNet(nw)
+	if err != nil {
+		return sim.ThroughputResult{}, err
+	}
+	engine := comm.NewSCGEngine(nw)
+	wl := sim.ZipfWorkload(nt.N(), pairs, seed, skew)
+	return sim.Throughput(nt, engine.AppendRoute, wl)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8650", "listen address (use :0 for an ephemeral port)")
+	sample := fs.Uint64("trace-sample", 64, "route-trace sampling interval (power of two; 1 = every route)")
+	warm := fs.Int("warm", 0, "route this many seeded pairs on -family before serving (0 = none)")
+	nf := addNetFlags(fs)
+	seed := fs.Int64("seed", 1, "workload seed for -warm")
+	skew := fs.Float64("skew", 1.2, "zipf exponent for -warm (> 1)")
+	fs.Parse(args)
+	if *sample == 0 || *sample&(*sample-1) != 0 {
+		return fmt.Errorf("-trace-sample must be a power of two, got %d", *sample)
+	}
+	obs.RouteTrace.SetSampling(*sample)
+	if *warm > 0 {
+		nw, err := nf.network()
+		if err != nil {
+			return err
+		}
+		res, err := routeWorkload(nw, *warm, *seed, *skew)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scg serve: warmed with %d pairs on %s (mean route len %.2f)\n",
+			res.Pairs, nw.Name(), res.MeanRouteLen)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scg serve: listening on http://%s\n", ln.Addr())
+	fmt.Println("scg serve: endpoints: /metrics /metrics.json /trace/routes /debug/vars /debug/pprof/")
+	return http.Serve(ln, newServeMux())
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	nf := addNetFlags(fs)
+	pairs := fs.Int("pairs", 20000, "routed (src, dst) pairs before the dump (0 = dump as-is)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	skew := fs.Float64("skew", 1.2, "zipf exponent (> 1)")
+	format := fs.String("format", "prom", "dump format: prom or json")
+	fs.Parse(args)
+	if *pairs > 0 {
+		nw, err := nf.network()
+		if err != nil {
+			return err
+		}
+		res, err := routeWorkload(nw, *pairs, *seed, *skew)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scg stats: routed %d pairs on %s (%.0f pairs/s, mean route len %.2f)\n",
+			res.Pairs, nw.Name(), res.PairsPerSec, res.MeanRouteLen)
+	}
+	switch *format {
+	case "prom":
+		os.Stdout.Write(obs.Default.PrometheusText())
+	case "json":
+		blob, err := obs.Default.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(blob)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}
+
+func cmdBenchObs(args []string) error {
+	fs := flag.NewFlagSet("bench-obs", flag.ExitOnError)
+	family := fs.String("family", "MS", "network family measured at k symbols")
+	k := fs.Int("k", 8, "symbols (k = 8 → 40320 nodes, the snapshot protocol)")
+	pairs := fs.Int("pairs", 200000, "workload pairs per timed pass")
+	rounds := fs.Int("rounds", 5, "alternating disabled/enabled passes; best per side is kept")
+	seed := fs.Int64("seed", 1, "workload seed")
+	skew := fs.Float64("skew", 1.2, "zipf exponent (> 1)")
+	out := fs.String("out", "", "write the JSON report here (default: stdout only)")
+	fs.Parse(args)
+	f, err := core.ParseFamily(*family)
+	if err != nil {
+		return err
+	}
+	nw, err := benchNetworkAtK(f, *k)
+	if err != nil {
+		return err
+	}
+	rep, err := comm.BenchObs(comm.ObsBenchConfig{
+		Network: nw, Pairs: *pairs, Rounds: *rounds, Seed: *seed, Skew: *skew,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("telemetry overhead on %s, warm %s workload (%d pairs, best of %d rounds):\n",
+		rep.Net, rep.Workload, rep.Pairs, rep.Rounds)
+	fmt.Printf("  obs disabled: %12.0f pairs/s\n", rep.DisabledPairsPerSec)
+	fmt.Printf("  obs enabled:  %12.0f pairs/s\n", rep.EnabledPairsPerSec)
+	fmt.Printf("  overhead:     %.2f%% (budget < 2%%)\n", rep.OverheadPct)
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}

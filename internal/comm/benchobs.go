@@ -1,0 +1,153 @@
+package comm
+
+// Telemetry-overhead measurement behind `scg bench-obs` and the
+// BENCH_obs.json snapshot: the warm zipfian routing workload from
+// BenchRoutes (the engine_warm protocol) is timed with the obs
+// registry disabled and enabled in alternating rounds.  The best
+// round per side — the one least disturbed by the scheduler — yields
+// the overhead percentage that the always-on-telemetry budget in
+// DESIGN.md §11 caps at 2%.
+
+import (
+	"runtime"
+	"time"
+
+	"supercayley/internal/core"
+	"supercayley/internal/obs"
+	"supercayley/internal/sim"
+)
+
+// ObsBenchConfig parameterizes BenchObs.  The zero value is filled
+// with the defaults noted per field.
+type ObsBenchConfig struct {
+	// Network to measure; default MS(7,1) (k = 8, N = 40320).
+	Network *core.Network
+	// Pairs per timed pass; default 200000.
+	Pairs int
+	// Rounds of alternating disabled/enabled passes; default 5.
+	Rounds int
+	// Seed drives the workload sample; default 1.
+	Seed int64
+	// Skew is the zipf exponent (> 1); default 1.2.
+	Skew float64
+}
+
+func (cfg *ObsBenchConfig) fill() error {
+	if cfg.Network == nil {
+		nw, err := core.New(core.MS, 7, 1)
+		if err != nil {
+			return err
+		}
+		cfg.Network = nw
+	}
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 200000
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Skew <= 1 {
+		cfg.Skew = 1.2
+	}
+	return nil
+}
+
+// ObsBenchRound is one timed pass in BENCH_obs.json.
+type ObsBenchRound struct {
+	Mode        string  `json:"mode"` // "disabled" or "enabled"
+	Round       int     `json:"round"`
+	Seconds     float64 `json:"seconds"`
+	PairsPerSec float64 `json:"pairs_per_sec"`
+}
+
+// ObsBenchReport is the BENCH_obs.json document.
+type ObsBenchReport struct {
+	Generated           string          `json:"generated"`
+	GoMaxProcs          int             `json:"go_max_procs"`
+	NumCPU              int             `json:"num_cpu"`
+	Note                string          `json:"note"`
+	Net                 string          `json:"net"`
+	K                   int             `json:"k"`
+	Nodes               int             `json:"nodes"`
+	Workload            string          `json:"workload"`
+	Pairs               int             `json:"pairs"`
+	Rounds              int             `json:"rounds"`
+	DisabledPairsPerSec float64         `json:"disabled_pairs_per_sec"`
+	EnabledPairsPerSec  float64         `json:"enabled_pairs_per_sec"`
+	OverheadPct         float64         `json:"overhead_pct"`
+	Entries             []ObsBenchRound `json:"entries"`
+}
+
+// BenchObs measures the cost of the always-on telemetry on the warm
+// routing hot path.  One untimed pass warms the route cache, then
+// Rounds alternating pairs of passes run the identical workload with
+// obs.SetEnabled(false) and obs.SetEnabled(true); the best pass per
+// side gives OverheadPct = (1 - enabled/disabled) * 100.  The
+// registry's prior enabled state is restored before returning.
+func BenchObs(cfg ObsBenchConfig) (*ObsBenchReport, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	nt, err := SCGNet(cfg.Network)
+	if err != nil {
+		return nil, err
+	}
+	engine := NewSCGEngine(cfg.Network)
+	wl := sim.ZipfWorkload(nt.N(), cfg.Pairs, cfg.Seed, cfg.Skew)
+
+	wasEnabled := obs.Enabled()
+	defer obs.SetEnabled(wasEnabled)
+
+	// Untimed warm-up: after this pass the cache serves every pair, so
+	// the timed passes match BENCH_routes.json's engine_warm protocol.
+	if _, err := sim.Throughput(nt, engine.AppendRoute, wl); err != nil {
+		return nil, err
+	}
+
+	rep := &ObsBenchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "warm-cache pair routing timed with telemetry disabled vs enabled in alternating " +
+			"rounds; best round per side; overhead_pct = (1 - enabled/disabled) * 100, budget < 2%",
+		Net:      cfg.Network.Name(),
+		K:        cfg.Network.K(),
+		Nodes:    nt.N(),
+		Workload: wl.Name,
+		Pairs:    cfg.Pairs,
+		Rounds:   cfg.Rounds,
+	}
+	modes := []struct {
+		name string
+		on   bool
+	}{{"disabled", false}, {"enabled", true}}
+	best := map[string]float64{}
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, mode := range modes {
+			// Collect between passes so garbage from the previous pass's
+			// buffers cannot dump a GC into the middle of this one.
+			runtime.GC()
+			obs.SetEnabled(mode.on)
+			res, err := sim.Throughput(nt, engine.AppendRoute, wl)
+			obs.SetEnabled(true)
+			if err != nil {
+				return nil, err
+			}
+			rep.Entries = append(rep.Entries, ObsBenchRound{
+				Mode: mode.name, Round: round, Seconds: res.Seconds, PairsPerSec: res.PairsPerSec,
+			})
+			if res.PairsPerSec > best[mode.name] {
+				best[mode.name] = res.PairsPerSec
+			}
+		}
+	}
+	rep.DisabledPairsPerSec = best["disabled"]
+	rep.EnabledPairsPerSec = best["enabled"]
+	if rep.DisabledPairsPerSec > 0 {
+		rep.OverheadPct = (1 - rep.EnabledPairsPerSec/rep.DisabledPairsPerSec) * 100
+	}
+	return rep, nil
+}

@@ -125,6 +125,8 @@ func RunMNB(nt *sim.Net, model sim.Model) (MNBReport, error) {
 	if lb > 0 {
 		rep.Ratio = float64(res.Rounds) / float64(lb)
 	}
+	mMNBRuns.Inc()
+	mMNBRounds.Add(uint64(res.Rounds))
 	return rep, nil
 }
 
@@ -168,6 +170,8 @@ func RunTE(nt *sim.Net, route sim.RouteFunc) (TEReport, error) {
 	if lb > 0 {
 		rep.Ratio = float64(res.Rounds) / float64(lb)
 	}
+	mTERuns.Inc()
+	mTERounds.Add(uint64(res.Rounds))
 	return rep, nil
 }
 

@@ -70,6 +70,7 @@ func (e *SCGEngine) Router() sim.Router {
 // alternatePorts mirrors core.StepOptions over node ranks using the
 // cache for every route-length probe.
 func (e *SCGEngine) alternatePorts(cur, dst int) ([]int, error) {
+	mAltRankings.Inc()
 	k, set := e.nw.K(), e.nw.Set()
 	u := perm.Unrank(k, int64(cur))
 	v := perm.Unrank(k, int64(dst))

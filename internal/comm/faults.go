@@ -77,6 +77,9 @@ func RunFaultSweep(nw *core.Network, spec sim.FaultSpec, pairs int, seed int64, 
 	if err != nil {
 		return FaultSweepReport{}, err
 	}
+	mFaultSweeps.Inc()
+	gFaultReachable.Set(res.Survivors.ReachableFraction)
+	gFaultDelivered.Set(res.DeliveredFraction)
 	return FaultSweepReport{Net: nw.Name(), Plan: plan.Summary(), SweepResult: res}, nil
 }
 

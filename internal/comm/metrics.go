@@ -1,0 +1,27 @@
+package comm
+
+// Telemetry for the communication adapters, registered on obs.Default:
+// broadcast rounds per scheduling model and the headline degradation
+// numbers of the latest fault sweep (gauges — they describe the most
+// recent run, where the counters accumulate).
+
+import "supercayley/internal/obs"
+
+var (
+	mMNBRuns = obs.Default.Counter("scg_comm_mnb_runs_total",
+		"fault-free multinode broadcast runs")
+	mMNBRounds = obs.Default.Counter("scg_comm_mnb_rounds_total",
+		"rounds spent by fault-free multinode broadcasts")
+	mTERuns = obs.Default.Counter("scg_comm_te_runs_total",
+		"total-exchange runs")
+	mTERounds = obs.Default.Counter("scg_comm_te_rounds_total",
+		"rounds spent by total-exchange runs")
+	mFaultSweeps = obs.Default.Counter("scg_comm_fault_sweeps_total",
+		"adaptive-rerouting fault sweeps run through the engine")
+	gFaultReachable = obs.Default.Gauge("scg_comm_fault_reachable_fraction",
+		"survivor-pair reachability of the latest fault sweep")
+	gFaultDelivered = obs.Default.Gauge("scg_comm_fault_delivered_fraction",
+		"delivered fraction of the latest fault sweep")
+	mAltRankings = obs.Default.Counter("scg_comm_alternate_rankings_total",
+		"detour-candidate rankings computed by engine routers")
+)

@@ -33,7 +33,8 @@ func TestRouteIntoAllocFree(t *testing.T) {
 
 // TestAppendRouteWarmAllocFree guards the cached hot path: once the
 // quotient is cached and the pooled scratch is warm, AppendRoute into a
-// preallocated buffer must not allocate.
+// preallocated buffer must not allocate — with the obs instrumentation
+// live (histogram observation per route).
 func TestAppendRouteWarmAllocFree(t *testing.T) {
 	nw := MustNew(MS, 7, 1)
 	cr := NewCachedRouter(nw, CacheConfig{})
@@ -45,5 +46,36 @@ func TestAppendRouteWarmAllocFree(t *testing.T) {
 		dst = cr.AppendRoute(dst[:0], u, v)
 	}); avg != 0 {
 		t.Fatalf("warm AppendRoute allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+// TestAppendRouteRanksWarmAllocFree guards the fully instrumented
+// rank-addressed path — histogram observation, trace sampling check,
+// and (for sampled pairs) the ring-buffer Record — end to end.
+func TestAppendRouteRanksWarmAllocFree(t *testing.T) {
+	nw := MustNew(MS, 7, 1)
+	cr := NewCachedRouter(nw, CacheConfig{})
+	dst := make([]gens.GenIndex, 0, 256)
+	n := perm.Factorial(nw.K())
+	// Route a spread of pairs, some of which the 1-in-64 sampler keeps,
+	// so the guard covers the Record path too (Record copies into a
+	// preallocated ring slot and must not allocate).
+	ranks := make([]int64, 64)
+	for i := range ranks {
+		ranks[i] = int64(i*977) % n
+	}
+	for _, rk := range ranks { // warm cache and pool
+		var err error
+		if dst, err = cr.AppendRouteRanks(dst[:0], rk, (rk+1)%n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(400, func() {
+		rk := ranks[i&63]
+		i++
+		dst, _ = cr.AppendRouteRanks(dst[:0], rk, (rk+1)%n)
+	}); avg != 0 {
+		t.Fatalf("warm AppendRouteRanks allocates %.2f objects per call, want 0", avg)
 	}
 }

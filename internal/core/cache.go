@@ -45,10 +45,13 @@ const (
 	defaultShardEntries = 4096
 )
 
-// CacheStats aggregates the per-shard counters.
+// CacheStats aggregates the per-shard counters.  MaxShardEntries and
+// MinShardEntries expose the shard-population extrema so load
+// imbalance across the splitmix64 shard picker is observable.
 type CacheStats struct {
-	Hits, Misses, Evictions uint64
-	Entries                 int
+	Hits, Misses, Evictions          uint64
+	Entries                          int
+	MaxShardEntries, MinShardEntries int
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -61,8 +64,8 @@ func (s CacheStats) HitRate() float64 {
 
 // String renders the stats on one line.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d hitrate=%.4f",
-		s.Hits, s.Misses, s.Evictions, s.Entries, s.HitRate())
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d shards=[%d,%d] hitrate=%.4f",
+		s.Hits, s.Misses, s.Evictions, s.Entries, s.MinShardEntries, s.MaxShardEntries, s.HitRate())
 }
 
 // routeEntry is one cached normalized route, linked into its shard's
@@ -112,6 +115,7 @@ func newRouteCache(cfg CacheConfig, exact bool) *RouteCache {
 		c.shards[i].cap = entries
 		c.shards[i].m = make(map[uint64]*routeEntry, entries/4)
 	}
+	registerCache(c)
 	return c
 }
 
@@ -215,7 +219,8 @@ func (sh *routeShard) moveToFront(e *routeEntry) {
 	sh.pushFront(e)
 }
 
-// Stats sums the per-shard counters.
+// Stats sums the per-shard counters and records the shard-population
+// extrema.
 func (c *RouteCache) Stats() CacheStats {
 	var s CacheStats
 	for i := range c.shards {
@@ -224,8 +229,15 @@ func (c *RouteCache) Stats() CacheStats {
 		s.Hits += sh.hits
 		s.Misses += sh.misses
 		s.Evictions += sh.evictions
-		s.Entries += len(sh.m)
+		n := len(sh.m)
 		sh.mu.Unlock()
+		s.Entries += n
+		if i == 0 || n > s.MaxShardEntries {
+			s.MaxShardEntries = n
+		}
+		if i == 0 || n < s.MinShardEntries {
+			s.MinShardEntries = n
+		}
 	}
 	return s
 }

@@ -27,6 +27,13 @@ type RouteScratch struct {
 	inv  perm.Perm       // v⁻¹
 	w    perm.Perm       // quotient v⁻¹∘u, consumed in place by the sort
 	idx  []gens.GenIndex // spare index buffer for length-only probes
+	hit  bool            // whether the last cached lookup was a hit
+
+	// Private hop-histogram page (see observeHops in metrics.go):
+	// plain-increment batching for the shared striped histogram.
+	hopPage [routeHopMax + 2]uint32
+	hopOver uint64 // overflowed hop values awaiting flush
+	hopPend uint32 // observations batched since the last flush
 }
 
 // NewRouteScratch returns scratch buffers for k-symbol networks.
@@ -75,7 +82,11 @@ func (nw *Network) RouteInto(dst []gens.GenIndex, u, v perm.Perm, s *RouteScratc
 	}
 	v.InverseInto(s.inv)
 	s.inv.ComposeInto(s.w, u)
-	return nw.appendQuotientRoute(dst, s.w)
+	mark := len(dst)
+	dst = nw.appendQuotientRoute(dst, s.w)
+	mKernelRoutes.Inc()
+	mKernelSteps.Add(uint64(len(dst) - mark))
+	return dst
 }
 
 // appendQuotientRoute appends the route that sorts quotient w to the

@@ -6,6 +6,7 @@ import (
 
 	"supercayley/internal/gens"
 	"supercayley/internal/graph"
+	"supercayley/internal/obs"
 	"supercayley/internal/perm"
 )
 
@@ -25,7 +26,10 @@ type CachedRouter struct {
 // the defaults (see CacheConfig).
 func NewCachedRouter(nw *Network, cfg CacheConfig) *CachedRouter {
 	cr := &CachedRouter{nw: nw, cache: newRouteCache(cfg, nw.k <= RankKeyMaxK)}
-	cr.scratch.New = func() any { return NewRouteScratch(nw.k) }
+	cr.scratch.New = func() any {
+		mScratchNew.Inc()
+		return NewRouteScratch(nw.k)
+	}
 	return cr
 }
 
@@ -61,7 +65,9 @@ func (cr *CachedRouter) quotientKey(w perm.Perm) uint64 {
 // kernel and insert it.
 func (cr *CachedRouter) AppendRoute(dst []gens.GenIndex, u, v perm.Perm) []gens.GenIndex {
 	s := cr.scratch.Get().(*RouteScratch)
+	mark := len(dst)
 	dst = cr.appendRoute(dst, u, v, s)
+	s.observeHops(0, len(dst)-mark)
 	cr.scratch.Put(s)
 	return dst
 }
@@ -74,8 +80,10 @@ func (cr *CachedRouter) appendRoute(dst []gens.GenIndex, u, v perm.Perm, s *Rout
 	s.inv.ComposeInto(s.w, u)
 	key := cr.quotientKey(s.w)
 	if out, ok := cr.cache.get(dst, key, s.w); ok {
+		s.hit = true
 		return out
 	}
+	s.hit = false
 	mark := len(dst)
 	dst = cr.nw.appendQuotientRoute(dst, s.w) // consumes s.w
 	// Re-derive the quotient for hashed-key storage (s.w is now the
@@ -98,7 +106,17 @@ func (cr *CachedRouter) AppendRouteRanks(dst []gens.GenIndex, src, dstRank int64
 	s := cr.scratch.Get().(*RouteScratch)
 	perm.UnrankInto(s.u, src)
 	perm.UnrankInto(s.v, dstRank)
+	mark := len(dst)
 	dst = cr.appendRoute(dst, s.u, s.v, s)
+	hops := len(dst) - mark
+	// One scratch-page observation per pair (flushed to the histogram
+	// striped on the source rank, so parallel RouteMany workers spread
+	// across cache lines); routes- and hops-totals are derived from the
+	// histogram at snapshot time.
+	s.observeHops(int(src), hops)
+	if obs.RouteTrace.Sampled(uint64(src)<<32 ^ uint64(dstRank)) {
+		obs.RouteTrace.Record(src, dstRank, hops, 0, s.hit, dst[mark:])
+	}
 	cr.scratch.Put(s)
 	return dst, nil
 }
@@ -154,6 +172,8 @@ func (cr *CachedRouter) RouteMany(srcs, dsts []int64) (*BulkRoutes, error) {
 		return nil, fmt.Errorf("core: RouteMany wants equal-length rank slices (%d vs %d)", len(srcs), len(dsts))
 	}
 	pairs := len(srcs)
+	mBulkCalls.Inc()
+	mBulkPairs.Add(uint64(pairs))
 	if pairs == 0 {
 		return &BulkRoutes{Offsets: []int64{0}}, nil
 	}

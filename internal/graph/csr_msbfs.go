@@ -30,6 +30,7 @@ type msScratch struct {
 	nxt  []uint64
 	list []int32 // nodes with cur != 0
 	next []int32 // nodes with nxt != 0
+	slot int     // worker index, stripes the telemetry counters
 }
 
 func (c *CSR) newMSScratch() *msScratch {
@@ -71,9 +72,13 @@ func (c *CSR) msbfs(srcs []int32, s *msScratch, res *msResult) {
 		cur[src] |= bit
 		res.reached[i] = 1
 	}
+	mMSBFSBatches.IncAt(s.slot)
 	edges, offsets := c.edges, c.offsets
 	next := s.next[:0]
 	for depth := int32(1); len(list) > 0; depth++ {
+		mMSBFSLevels.IncAt(s.slot)
+		mMSBFSFrontier.AddAt(s.slot, uint64(len(list)))
+		hMSBFSFrontier.Observe(s.slot, uint64(len(list)))
 		next = next[:0]
 		for _, v := range list {
 			fm := cur[v]
@@ -124,8 +129,10 @@ func (c *CSR) allSources() (diam int, total int64, connected bool) {
 	eccs := make([]int32, workers)
 	sums := make([]int64, workers)
 	unreached := make([]bool, workers)
+	mMSBFSSweeps.Inc()
 	parallelChunks(batches, func(worker, lo, hi int) {
 		s := c.newMSScratch()
+		s.slot = worker
 		var res msResult
 		srcs := make([]int32, 0, 64)
 		for b := lo; b < hi; b++ {

@@ -1,0 +1,21 @@
+package graph
+
+// Telemetry for the MS-BFS analytics driver, registered on
+// obs.Default.  Counters are striped on the worker index, so the
+// snapshot's per-stripe breakdown doubles as the per-worker batch
+// counts of the all-sources sweep.
+
+import "supercayley/internal/obs"
+
+var (
+	mMSBFSSweeps = obs.Default.Counter("scg_msbfs_allsources_runs_total",
+		"all-sources MS-BFS sweeps")
+	mMSBFSBatches = obs.Default.Counter("scg_msbfs_batches_total",
+		"64-source MS-BFS batches run (striped per worker)")
+	mMSBFSLevels = obs.Default.Counter("scg_msbfs_levels_total",
+		"BFS levels expanded across batches")
+	mMSBFSFrontier = obs.Default.Counter("scg_msbfs_frontier_nodes_total",
+		"active frontier nodes scanned across levels")
+	hMSBFSFrontier = obs.Default.Pow2Hist("scg_msbfs_frontier_size",
+		"per-level frontier sizes of MS-BFS batches")
+)

@@ -54,6 +54,7 @@ func TestAnnotationsIndexed(t *testing.T) {
 		"UnrankInto", "InverseInto", "ComposeInto", // perm kernels
 		"ApplyInto", "ReplayInto", // gens kernels
 		"RouteInto", "appendQuotientRoute", // core kernel + callee
+		"AddAt", "IncAt", "Observe", "Enabled", "Sampled", // obs hot half
 	}
 	wantDeterministic := []string{
 		"RouteMany", "RouteSweep", "SurvivorStatsUnder", "ReachMatrixUnder",

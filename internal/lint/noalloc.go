@@ -26,6 +26,30 @@ import (
 //
 // Arguments of panic calls are exempt: a failing assertion may format
 // its message, because that path never executes on a correct run.
+//
+// Calls outside the module are normally banned outright, with one
+// carve-out: noallocRoster lists the standard-library functions known
+// to be allocation-free (atomic loads/stores/adds, bit twiddling) so
+// the obs increment path can be annotated and verified rather than
+// silently un-annotated.
+
+// noallocRoster is the external-callee allowlist, keyed by
+// types.Func.FullName.  Entries must be trivially allocation-free —
+// single-instruction atomics and pure bit arithmetic only.
+var noallocRoster = map[string]bool{
+	"sync/atomic.AddUint64":     true,
+	"sync/atomic.LoadUint64":    true,
+	"sync/atomic.StoreUint64":   true,
+	"sync/atomic.AddUint32":     true,
+	"sync/atomic.LoadUint32":    true,
+	"sync/atomic.StoreUint32":   true,
+	"sync/atomic.AddInt64":      true,
+	"sync/atomic.LoadInt64":     true,
+	"math/bits.Len64":           true,
+	"math/bits.OnesCount64":     true,
+	"math/bits.TrailingZeros64": true,
+	"math/bits.LeadingZeros64":  true,
+}
 
 // noallocChecker walks one annotated function body.
 type noallocChecker struct {
@@ -159,6 +183,10 @@ func (c *noallocChecker) checkCall(call *ast.CallExpr) bool {
 		return true
 	case *types.Func:
 		if c.m.Noalloc(callee) {
+			c.checkInterfaceArgs(call, callee)
+			return true
+		}
+		if noallocRoster[callee.FullName()] {
 			c.checkInterfaceArgs(call, callee)
 			return true
 		}

@@ -1,0 +1,27 @@
+// Package noalloc_obs_bad breaks the obs carve-out three ways: the
+// cold half of the tracer, metric registration, and a stdlib atomic
+// that is not in the roster all stay banned inside noalloc kernels.
+package noalloc_obs_bad
+
+import (
+	"sync/atomic"
+
+	"supercayley/internal/obs"
+)
+
+var state uint64
+
+//scg:noalloc
+func snapshotOnHotPath(t *obs.RouteTracer) int {
+	return len(t.Snapshot()) // want noalloc
+}
+
+//scg:noalloc
+func registerOnHotPath() *obs.Counter {
+	return obs.Default.Counter("fixture_obs_bad_total", "h") // want noalloc
+}
+
+//scg:noalloc
+func unrosteredAtomic() {
+	atomic.CompareAndSwapUint64(&state, 0, 1) // want noalloc
+}

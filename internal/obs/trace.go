@@ -1,0 +1,189 @@
+package obs
+
+// The route tracer: a bounded ring buffer of sampled route events.
+//
+// Sampling is hash-seeded, not counter-based: Sampled mixes the
+// caller's (src, dst) key with the tracer seed through one golden-ratio
+// multiply and keeps the pair iff the top log2(interval) bits are zero.
+// That makes the decision stateless (no atomic write on the unsampled
+// path — the overwhelming majority), deterministic for a fixed seed
+// (the same pairs are traced on every run, so traces are testable),
+// and unbiased across the keyspace; a single multiply-shift rather
+// than a full finalizer keeps it to a few cycles, because Sampled runs
+// once per routed pair on the warm hot path.  Only sampled routes pay
+// for the mutex-guarded copy into a preallocated ring slot; nothing on
+// either path allocates.
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"supercayley/internal/gens"
+)
+
+// TraceSteps is the per-event step capacity: generator indices beyond
+// it are dropped and the event marked truncated.  It covers the
+// diameter bound of every family the experiments run (k ≤ 12 keeps
+// routes well under it).
+const TraceSteps = 48
+
+// traceSlot is one preallocated ring entry; Record copies into it
+// without allocating.
+type traceSlot struct {
+	seq       uint64
+	src, dst  int64
+	hops      int32
+	detours   int32
+	cacheHit  bool
+	truncated bool
+	nsteps    uint8
+	steps     [TraceSteps]gens.GenIndex
+}
+
+// TraceEvent is one sampled route in a snapshot.  Steps holds the
+// generator indices (sim port numbers) of the first TraceSteps hops,
+// widened to int so JSON renders them as an array rather than base64.
+type TraceEvent struct {
+	Seq       uint64 `json:"seq"`
+	Src       int64  `json:"src"`
+	Dst       int64  `json:"dst"`
+	Hops      int    `json:"hops"`
+	Detours   int    `json:"detours,omitempty"`
+	CacheHit  bool   `json:"cache_hit"`
+	Steps     []int  `json:"steps"`
+	Truncated bool   `json:"truncated,omitempty"`
+}
+
+// RouteTracer samples route events into a fixed-size ring.  The hot
+// half is Sampled (lock-free, allocation-free, annotated noalloc);
+// Record and Snapshot are the cold half.
+type RouteTracer struct {
+	seed  uint64 // atomic
+	shift uint64 // atomic; sample when ((key^seed)*phi64)>>shift == 0
+
+	mu   sync.Mutex
+	seq  uint64 // events ever recorded; also the total counter
+	next int
+	ring []traceSlot
+}
+
+// NewRouteTracer builds a tracer keeping the last capacity events,
+// sampling one key in interval (a power of two; 1 samples everything)
+// under the given seed.
+func NewRouteTracer(capacity int, interval uint64, seed uint64) *RouteTracer {
+	if capacity < 1 {
+		panic("obs: RouteTracer needs capacity ≥ 1")
+	}
+	t := &RouteTracer{ring: make([]traceSlot, capacity)}
+	t.seed = seed
+	t.SetSampling(interval)
+	return t
+}
+
+// RouteTrace is the process-wide tracer the routing engine records
+// into and `scg serve` exposes at /trace/routes.  The default 1-in-64
+// sampling keeps the steady-state cost of tracing far below the
+// counter increments it rides along with.
+var RouteTrace = NewRouteTracer(256, 64, 0x5ca1ab1e0b5eed)
+
+// phi64 is 2^64/φ (the 64-bit golden-ratio constant): one multiply by
+// it spreads consecutive keys uniformly across the top output bits,
+// which is all the zero-test in Sampled examines.
+const phi64 = 0x9e3779b97f4a7c15
+
+// SetSampling sets the sampling interval: one key in interval is
+// traced.  interval must be a power of two; 1 traces every key.
+func (t *RouteTracer) SetSampling(interval uint64) {
+	if interval == 0 || interval&(interval-1) != 0 {
+		panic("obs: sampling interval must be a power of two")
+	}
+	// Keep a key iff the top log2(interval) hash bits are zero; an
+	// interval of 1 shifts by 64, which in Go yields 0 — every key.
+	atomic.StoreUint64(&t.shift, uint64(64-bits.TrailingZeros64(interval)))
+}
+
+// SetSeed reseeds the sampler (choosing which keys are traced).
+func (t *RouteTracer) SetSeed(seed uint64) { atomic.StoreUint64(&t.seed, seed) }
+
+// Sampled reports whether the route keyed by key should be traced.
+// Key the decision on stable route identity — uint64(src)<<32 ^ dst
+// for rank-addressed routing — so the sampled set is deterministic.
+//
+//scg:noalloc
+func (t *RouteTracer) Sampled(key uint64) bool {
+	if !Enabled() {
+		return false
+	}
+	return ((key^atomic.LoadUint64(&t.seed))*phi64)>>atomic.LoadUint64(&t.shift) == 0
+}
+
+// Record stores one sampled route event.  It copies steps into a
+// preallocated ring slot (truncating past TraceSteps) and allocates
+// nothing; callers on alloc-guarded paths may call it freely, though
+// it takes the tracer mutex and so belongs behind Sampled.
+func (t *RouteTracer) Record(src, dst int64, hops, detours int, cacheHit bool, steps []gens.GenIndex) {
+	if !Enabled() {
+		return
+	}
+	t.mu.Lock()
+	t.seq++
+	slot := &t.ring[t.next]
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	slot.seq = t.seq
+	slot.src, slot.dst = src, dst
+	slot.hops = int32(hops)
+	slot.detours = int32(detours)
+	slot.cacheHit = cacheHit
+	n := len(steps)
+	slot.truncated = n > TraceSteps
+	if n > TraceSteps {
+		n = TraceSteps
+	}
+	slot.nsteps = uint8(n)
+	copy(slot.steps[:n], steps)
+	t.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (including those
+// the ring has since overwritten).
+func (t *RouteTracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Snapshot returns the retained events in ascending sequence order —
+// deterministic for a quiesced tracer, oldest first.
+func (t *RouteTracer) Snapshot() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, len(t.ring))
+	// The ring is orderly: slots [next, len) then [0, next) hold
+	// strictly increasing seq once full; before the first wrap the
+	// tail slots are empty (seq 0) and skipped.
+	emit := func(s *traceSlot) {
+		if s.seq == 0 {
+			return
+		}
+		steps := make([]int, s.nsteps)
+		for i := range steps {
+			steps[i] = int(s.steps[i])
+		}
+		out = append(out, TraceEvent{
+			Seq: s.seq, Src: s.src, Dst: s.dst,
+			Hops: int(s.hops), Detours: int(s.detours),
+			CacheHit: s.cacheHit, Steps: steps, Truncated: s.truncated,
+		})
+	}
+	for i := t.next; i < len(t.ring); i++ {
+		emit(&t.ring[i])
+	}
+	for i := 0; i < t.next; i++ {
+		emit(&t.ring[i])
+	}
+	return out
+}

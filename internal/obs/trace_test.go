@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"supercayley/internal/gens"
+)
+
+func TestSampledDeterministic(t *testing.T) {
+	a := NewRouteTracer(8, 16, 12345)
+	b := NewRouteTracer(8, 16, 12345)
+	c := NewRouteTracer(8, 16, 54321)
+	sampledA, sampledC := 0, 0
+	for key := uint64(0); key < 4096; key++ {
+		sa := a.Sampled(key)
+		if sa != b.Sampled(key) {
+			t.Fatalf("same seed disagrees on key %d", key)
+		}
+		if sa {
+			sampledA++
+		}
+		if c.Sampled(key) {
+			sampledC++
+		}
+	}
+	// 1-in-16 sampling over 4096 uniform-ish keys: expect ~256; a
+	// wide tolerance still catches broken masking (all or nothing).
+	if sampledA < 128 || sampledA > 512 {
+		t.Fatalf("sampling rate off: %d of 4096 at interval 16", sampledA)
+	}
+	if sampledC == sampledA {
+		t.Logf("different seeds picked equal counts (%d) — fine, sets still differ", sampledA)
+	}
+	a.SetSampling(1)
+	for key := uint64(0); key < 64; key++ {
+		if !a.Sampled(key) {
+			t.Fatal("interval 1 must sample every key")
+		}
+	}
+}
+
+func TestSampledDisabled(t *testing.T) {
+	defer SetEnabled(true)
+	tr := NewRouteTracer(8, 1, 0)
+	SetEnabled(false)
+	if tr.Sampled(1) {
+		t.Fatal("Sampled must refuse while telemetry is disabled")
+	}
+}
+
+func TestSamplingIntervalValidation(t *testing.T) {
+	tr := NewRouteTracer(8, 1, 0)
+	for _, bad := range []uint64{0, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetSampling(%d): no panic", bad)
+				}
+			}()
+			tr.SetSampling(bad)
+		}()
+	}
+}
+
+func TestRecordSnapshotOrder(t *testing.T) {
+	tr := NewRouteTracer(4, 1, 0)
+	steps := []gens.GenIndex{3, 1, 2}
+	for i := int64(1); i <= 6; i++ { // wraps the 4-slot ring
+		tr.Record(i, i+100, len(steps), int(i%2), i%2 == 0, steps[:i%4])
+	}
+	if tr.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", tr.Total())
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot kept %d events, want ring capacity 4", len(snap))
+	}
+	for i, ev := range snap {
+		wantSeq := uint64(3 + i) // oldest surviving event is #3
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d has seq %d, want %d (ascending, oldest first)", i, ev.Seq, wantSeq)
+		}
+		if ev.Src != int64(wantSeq) || ev.Dst != int64(wantSeq)+100 {
+			t.Fatalf("event %d carries wrong endpoints: %+v", i, ev)
+		}
+		wantSteps := make([]int, wantSeq%4)
+		for j := range wantSteps {
+			wantSteps[j] = int(steps[j])
+		}
+		if !reflect.DeepEqual(ev.Steps, wantSteps) {
+			t.Fatalf("event %d steps = %v, want %v", i, ev.Steps, wantSteps)
+		}
+	}
+	// A quiesced tracer snapshots identically twice.
+	if !reflect.DeepEqual(snap, tr.Snapshot()) {
+		t.Fatal("quiesced tracer snapshots differ")
+	}
+}
+
+func TestRecordPartialRing(t *testing.T) {
+	tr := NewRouteTracer(8, 1, 0)
+	tr.Record(10, 20, 2, 0, true, []gens.GenIndex{0, 1})
+	tr.Record(11, 21, 1, 0, false, []gens.GenIndex{2})
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("partial ring snapshot has %d events, want 2", len(snap))
+	}
+	if snap[0].Seq != 1 || snap[1].Seq != 2 {
+		t.Fatalf("partial ring out of order: %+v", snap)
+	}
+	if !snap[0].CacheHit || snap[1].CacheHit {
+		t.Fatalf("cache-hit flags wrong: %+v", snap)
+	}
+}
+
+func TestRecordTruncates(t *testing.T) {
+	tr := NewRouteTracer(2, 1, 0)
+	long := make([]gens.GenIndex, TraceSteps+10)
+	for i := range long {
+		long[i] = gens.GenIndex(i % 7)
+	}
+	tr.Record(1, 2, len(long), 0, false, long)
+	ev := tr.Snapshot()[0]
+	if !ev.Truncated {
+		t.Fatal("oversize route not marked truncated")
+	}
+	if len(ev.Steps) != TraceSteps {
+		t.Fatalf("kept %d steps, want %d", len(ev.Steps), TraceSteps)
+	}
+	if ev.Hops != len(long) {
+		t.Fatalf("hops = %d, want the full %d even when steps truncate", ev.Hops, len(long))
+	}
+	for i, s := range ev.Steps {
+		if s != int(long[i]) {
+			t.Fatalf("step %d = %d, want %d", i, s, long[i])
+		}
+	}
+}
+
+func TestRecordDisabled(t *testing.T) {
+	defer SetEnabled(true)
+	tr := NewRouteTracer(2, 1, 0)
+	SetEnabled(false)
+	tr.Record(1, 2, 0, 0, false, nil)
+	if tr.Total() != 0 {
+		t.Fatal("Record landed while disabled")
+	}
+}

@@ -157,6 +157,7 @@ func MNBFaulty(nt *Net, model Model, policy MNBPolicy, plan *FaultPlan) (FaultyM
 			// report coverage instead of erroring.
 			res.Rounds = round
 			res.Stalled = true
+			mMNBStalls.Inc()
 			break
 		}
 		sends = sends[:0]
@@ -227,5 +228,6 @@ func MNBFaulty(nt *Net, model Model, policy MNBPolicy, plan *FaultPlan) (FaultyM
 	if res.Expected > 0 {
 		res.Coverage = float64(res.Achieved) / float64(res.Expected)
 	}
+	mMNBFaultyRuns.Inc()
 	return res, nil
 }

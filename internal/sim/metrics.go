@@ -1,0 +1,33 @@
+package sim
+
+// Telemetry for the simulators, registered on obs.Default.  Every
+// increment happens once per run (or per aggregated result), never
+// inside the per-packet walk loops, so the simulators' measured
+// numbers are not perturbed by their own observability.
+
+import "supercayley/internal/obs"
+
+var (
+	mSweepPairs = obs.Default.Counter("scg_sim_sweep_pairs_total",
+		"pairs attempted by fault-injection route sweeps")
+	mSweepDelivered = obs.Default.Counter("scg_sim_sweep_delivered_total",
+		"sweep pairs delivered under faults")
+	mSweepFailed = obs.Default.Counter("scg_sim_sweep_failed_total",
+		"sweep pairs not delivered (dead endpoints, disconnections, aborts)")
+	mSweepDetours = obs.Default.Counter("scg_sim_sweep_detours_total",
+		"non-greedy detour steps taken by delivered packets")
+	mSweepBudget = obs.Default.Counter("scg_sim_sweep_budget_exhausted_total",
+		"sweep pairs aborted with the destination still reachable (detour/hop budget ran out)")
+	mTputRuns = obs.Default.Counter("scg_sim_throughput_runs_total",
+		"bulk-throughput measurement runs")
+	mTputPairs = obs.Default.Counter("scg_sim_throughput_pairs_total",
+		"pairs routed and delivery-verified by throughput runs")
+	mTputHops = obs.Default.Counter("scg_sim_throughput_hops_total",
+		"total hops across throughput-run routes")
+	hTputRunNs = obs.Default.Pow2Hist("scg_sim_throughput_run_ns",
+		"wall time of whole throughput runs, nanoseconds")
+	mMNBStalls = obs.Default.Counter("scg_sim_mnb_stalls_total",
+		"faulty multinode broadcasts that stalled before full coverage")
+	mMNBFaultyRuns = obs.Default.Counter("scg_sim_mnb_faulty_runs_total",
+		"faulty multinode broadcast runs")
+)

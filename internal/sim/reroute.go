@@ -334,6 +334,11 @@ func RouteSweep(nt *Net, router Router, plan *FaultPlan, pairs int, seed int64, 
 	if failed := res.Aborted + res.Unreachable; failed > 0 {
 		res.MeanAbortHops = float64(abortHops) / float64(failed)
 	}
+	mSweepPairs.Add(uint64(pairs))
+	mSweepDelivered.Add(uint64(res.Delivered))
+	mSweepFailed.Add(uint64(pairs - res.Delivered))
+	mSweepDetours.Add(uint64(res.Detours))
+	mSweepBudget.Add(uint64(res.Aborted))
 
 	if csr == nil {
 		csr = nt.CSR()

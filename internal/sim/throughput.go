@@ -156,12 +156,17 @@ func Throughput(nt *Net, route AppendRouteFunc, wl Workload) (ThroughputResult, 
 		}
 		atomic.AddInt64(&totalHops, hops)
 	})
-	seconds := time.Since(t0).Seconds()
+	elapsed := time.Since(t0)
+	seconds := elapsed.Seconds()
 	for _, err := range errv {
 		if err != nil {
 			return ThroughputResult{}, err
 		}
 	}
+	mTputRuns.Inc()
+	mTputPairs.Add(uint64(pairs))
+	mTputHops.Add(uint64(totalHops))
+	hTputRunNs.Observe(0, uint64(elapsed.Nanoseconds()))
 	res := ThroughputResult{
 		Net:          nt.Name(),
 		Workload:     wl.Name,
