@@ -56,6 +56,14 @@ go test -race -count=2 ./internal/obs
 echo "== bench smoke (-bench=Route -benchtime=1x) + alloc guards"
 go test -run='AllocFree$' -bench=Route -benchtime=1x ./internal/core
 
+# Table-mode gates: the ten-family differential (table routes must be
+# port-identical to the RouteInto kernel), the snapshot round-trip and
+# corrupted-header rejection, and the AllocsPerRun==0 guard on the
+# table lookup loop (tagged !race for the same pooled-scratch reason).
+echo "== table-mode differential + snapshot round-trip + alloc guards"
+go test -run='Differential|Snapshot' ./internal/tables
+go test -run='AllocFree$' ./internal/tables
+
 # scg serve smoke: boot the debug endpoint on an ephemeral port, then
 # check /metrics exposes the route-cache counters and the pprof
 # handlers answer.

@@ -51,6 +51,8 @@ func main() {
 		err = cmdFaults(args)
 	case "bench-routes":
 		err = cmdBenchRoutes(args)
+	case "bench-tables":
+		err = cmdBenchTables(args)
 	case "bench-obs":
 		err = cmdBenchObs(args)
 	case "serve":
@@ -88,6 +90,7 @@ commands:
   tasks     simulate MNB / TE communication tasks (Corollaries 2–3)
   faults    inject node/link faults, reroute adaptively, report degradation
   bench-routes  measure pair-routing throughput (legacy vs cached engine), write BENCH_routes.json
+  bench-tables  measure table vs cache vs greedy routing + table build costs, write BENCH_tables.json
   bench-obs measure telemetry overhead (obs disabled vs enabled), write BENCH_obs.json
   serve     HTTP debug endpoint: /metrics, /metrics.json, /trace/routes, /debug/vars, /debug/pprof/*
   stats     route a seeded workload, then dump the metrics registry once
@@ -462,6 +465,76 @@ func cmdBenchRoutes(args []string) error {
 		}
 		fmt.Printf("%-10s %-14s %-16s pairs=%-7d %12.0f pairs/s%s%s\n",
 			e.Net, e.Workload, e.Engine, e.Pairs, e.PairsPerSec, speed, cache)
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdBenchTables(args []string) error {
+	fs := flag.NewFlagSet("bench-tables", flag.ExitOnError)
+	families := fs.String("families", "MS,IS", "comma-separated families to measure at k symbols")
+	k := fs.Int("k", 8, "symbols for the throughput comparison (k = 8 → 40320 nodes)")
+	buildKs := fs.String("build-ks", "7,8,9,10", "comma-separated ks for the dense build-cost sweep")
+	pairs := fs.Int("pairs", 200000, "workload pairs per timed pass")
+	seed := fs.Int64("seed", 1, "workload seed")
+	skew := fs.Float64("skew", 1.2, "zipf exponent (> 1)")
+	out := fs.String("out", "", "write the JSON report here (default: stdout only)")
+	fs.Parse(args)
+
+	var nws []*core.Network
+	for _, name := range strings.Split(*families, ",") {
+		f, err := core.ParseFamily(name)
+		if err != nil {
+			return err
+		}
+		nw, err := benchNetworkAtK(f, *k)
+		if err != nil {
+			return err
+		}
+		nws = append(nws, nw)
+	}
+	var ks []int
+	for _, s := range strings.Split(*buildKs, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil {
+			return fmt.Errorf("bad -build-ks entry %q: %w", s, err)
+		}
+		ks = append(ks, v)
+	}
+	rep, err := comm.BenchTables(comm.TableBenchConfig{
+		Networks: nws,
+		BuildKs:  ks,
+		Pairs:    *pairs,
+		Seed:     *seed,
+		Skew:     *skew,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("host: %s\n", rep.Parallelism)
+	for _, e := range rep.Entries {
+		extra := ""
+		if e.SpeedupVsCacheWarm > 0 {
+			extra = fmt.Sprintf("  %5.2fx vs cache_warm", e.SpeedupVsCacheWarm)
+		}
+		if e.TableBytes > 0 {
+			extra += fmt.Sprintf("  table=%dB build=%.3fs", e.TableBytes, e.BuildSeconds)
+		}
+		fmt.Printf("%-10s %-14s %-14s pairs=%-7d %12.0f pairs/s  %7.0f ns/pair%s\n",
+			e.Net, e.Workload, e.Engine, e.Pairs, e.PairsPerSec, e.NsPerPair, extra)
+	}
+	for _, b := range rep.Builds {
+		fmt.Printf("build %-10s k=%-2d nodes=%-9d %8.3fs  %9dB resident\n",
+			b.Net, b.K, b.Nodes, b.BuildSeconds, b.Bytes)
 	}
 	if *out != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")

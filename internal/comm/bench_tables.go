@@ -1,0 +1,284 @@
+package comm
+
+// Table-mode routing benchmark behind `scg bench-tables` and the
+// BENCH_tables.json snapshot: the three routing modes — greedy kernel
+// (no cache), symmetry-normalized LRU (cold and warm), and the
+// precomputed dense table of internal/tables — are timed on the same
+// seeded workload with ROUTING-ONLY clocks (sim.ThroughputOpts
+// SkipReplay: delivery is still verified for every pair, in an
+// untimed second pass), so the reported ratios compare routing work
+// rather than shared verification overhead.  A build-only sweep
+// records cold-start time and resident bytes per k, where the table's
+// cost actually lives.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"supercayley/internal/core"
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+	"supercayley/internal/sim"
+	"supercayley/internal/tables"
+)
+
+// TableBenchConfig parameterizes BenchTables.  The zero value is
+// filled with the defaults noted per field.
+type TableBenchConfig struct {
+	// Networks to measure end to end; default MS(7,1) and IS(8)
+	// (k = 8, N = 40320 — the largest sim-enumerable size).
+	Networks []*core.Network
+	// BuildKs is the build-only sweep: for each k, an MS(k−1,1) and an
+	// IS(k) dense table is built and its cold-start cost recorded;
+	// default {7, 8, 9, 10}.
+	BuildKs []int
+	// Pairs per timed pass; default 200000.
+	Pairs int
+	// Seed drives the workload sample; default 1.
+	Seed int64
+	// Skew is the zipf exponent (> 1); default 1.2.
+	Skew float64
+}
+
+func (cfg *TableBenchConfig) fill() error {
+	if len(cfg.Networks) == 0 {
+		ms, err := core.New(core.MS, 7, 1)
+		if err != nil {
+			return err
+		}
+		is, err := core.NewIS(8)
+		if err != nil {
+			return err
+		}
+		cfg.Networks = []*core.Network{ms, is}
+	}
+	if len(cfg.BuildKs) == 0 {
+		cfg.BuildKs = []int{7, 8, 9, 10}
+	}
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 200000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Skew <= 1 {
+		cfg.Skew = 1.2
+	}
+	return nil
+}
+
+// TableBenchEntry is one throughput measurement in BENCH_tables.json.
+type TableBenchEntry struct {
+	Net                string  `json:"net"`
+	K                  int     `json:"k"`
+	Nodes              int     `json:"nodes"`
+	Workload           string  `json:"workload"`
+	Engine             string  `json:"engine"`
+	Pairs              int     `json:"pairs"`
+	Seconds            float64 `json:"seconds"`
+	PairsPerSec        float64 `json:"pairs_per_sec"`
+	NsPerPair          float64 `json:"ns_per_pair"`
+	MeanRouteLen       float64 `json:"mean_route_len"`
+	SpeedupVsCacheWarm float64 `json:"speedup_vs_cache_warm,omitempty"`
+	CacheHitRate       float64 `json:"cache_hit_rate,omitempty"`
+	CacheEntries       int     `json:"cache_entries,omitempty"`
+	TableBytes         int64   `json:"table_bytes,omitempty"`
+	BuildSeconds       float64 `json:"build_seconds,omitempty"`
+}
+
+// TableBuildEntry is one cold-start measurement: dense table build
+// time and residency at a given k.
+type TableBuildEntry struct {
+	Net          string  `json:"net"`
+	K            int     `json:"k"`
+	Nodes        int64   `json:"nodes"`
+	Mode         string  `json:"mode"`
+	BuildSeconds float64 `json:"build_seconds"`
+	Bytes        int64   `json:"bytes"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+}
+
+// TableBenchReport is the BENCH_tables.json document.
+type TableBenchReport struct {
+	Generated   string            `json:"generated"`
+	Parallelism string            `json:"parallelism"`
+	GoMaxProcs  int               `json:"go_max_procs"`
+	NumCPU      int               `json:"num_cpu"`
+	Note        string            `json:"note"`
+	Entries     []TableBenchEntry `json:"entries"`
+	Builds      []TableBuildEntry `json:"builds"`
+}
+
+// kernelScratch is the pooled state of the cache-less greedy baseline.
+type kernelScratch struct {
+	u, v perm.Perm
+	s    *core.RouteScratch
+}
+
+// kernelRoute adapts the raw RouteInto kernel (no cache, no table) to
+// the sim contract: the greedy baseline every other mode is compared
+// against.
+func kernelRoute(nw *core.Network) sim.AppendRouteFunc {
+	k := nw.K()
+	pool := sync.Pool{New: func() any {
+		return &kernelScratch{u: make(perm.Perm, k), v: make(perm.Perm, k), s: core.NewRouteScratch(k)}
+	}}
+	n := nw.N()
+	return func(buf []gens.GenIndex, src, dst int) ([]gens.GenIndex, error) {
+		if src < 0 || int64(src) >= n || dst < 0 || int64(dst) >= n {
+			return buf, fmt.Errorf("comm: kernel route pair (%d, %d) out of range [0, %d)", src, dst, n)
+		}
+		ks := pool.Get().(*kernelScratch)
+		perm.UnrankInto(ks.u, int64(src))
+		perm.UnrankInto(ks.v, int64(dst))
+		buf = nw.RouteInto(buf, ks.u, ks.v, ks.s)
+		pool.Put(ks)
+		return buf, nil
+	}
+}
+
+// BenchTables runs the table-vs-cache-vs-greedy protocol.  Engines:
+//
+//   - greedy_kernel: RouteInto per pair, no cache, no table;
+//   - cache_cold:    fresh CachedRouter, every quotient a miss;
+//   - cache_warm:    the same router over the identical workload (the
+//     PR-3 engine_warm steady state, under the routing-only clock);
+//   - table_cold:    router with a freshly built dense table (first
+//     pass; build time is reported separately, not in the pass);
+//   - table_warm:    the same table-backed router again — the headline
+//     number, with speedup_vs_cache_warm against this run's cache_warm.
+//
+// All passes route the same seeded zipfian workload and every route is
+// delivery-verified (untimed).  The build sweep then records dense
+// cold-start time and resident bytes for each configured k.
+func BenchTables(cfg TableBenchConfig) (*TableBenchReport, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rep := &TableBenchReport{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Parallelism: hostParallelism(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Note: "routing-only throughput (delivery verified untimed via sim SkipReplay) for greedy kernel, " +
+			"symmetry-normalized LRU (cold/warm) and precomputed dense next-dimension tables; " +
+			"builds[] records dense table cold-start seconds and resident bytes per k",
+	}
+	for _, nw := range cfg.Networks {
+		entries, err := benchTableNetwork(nw, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("comm: bench-tables on %s: %w", nw.Name(), err)
+		}
+		rep.Entries = append(rep.Entries, entries...)
+	}
+	for _, k := range cfg.BuildKs {
+		for _, mk := range []func() (*core.Network, error){
+			func() (*core.Network, error) { return core.New(core.MS, k-1, 1) },
+			func() (*core.Network, error) { return core.NewIS(k) },
+		} {
+			nw, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			tab, err := tables.Build(nw, tables.Config{Mode: tables.ModeDense})
+			if err != nil {
+				return nil, fmt.Errorf("comm: bench-tables build sweep %s: %w", nw.Name(), err)
+			}
+			rep.Builds = append(rep.Builds, TableBuildEntry{
+				Net:          nw.Name(),
+				K:            nw.K(),
+				Nodes:        nw.N(),
+				Mode:         tab.Mode().String(),
+				BuildSeconds: tab.BuildTime().Seconds(),
+				Bytes:        tab.Bytes(),
+				BytesPerNode: float64(tab.Bytes()) / float64(nw.N()),
+			})
+		}
+	}
+	return rep, nil
+}
+
+func benchTableNetwork(nw *core.Network, cfg TableBenchConfig) ([]TableBenchEntry, error) {
+	nt, err := SCGNet(nw)
+	if err != nil {
+		return nil, err
+	}
+	wl := sim.ZipfWorkload(nt.N(), cfg.Pairs, cfg.Seed, cfg.Skew)
+	base := TableBenchEntry{Net: nw.Name(), K: nw.K(), Nodes: nt.N(), Workload: wl.Name}
+	mk := func(res sim.ThroughputResult) TableBenchEntry {
+		e := base
+		e.Engine = res.Engine
+		e.Pairs = res.Pairs
+		e.Seconds = res.Seconds
+		e.PairsPerSec = res.PairsPerSec
+		e.MeanRouteLen = res.MeanRouteLen
+		if res.Pairs > 0 {
+			e.NsPerPair = res.Seconds * 1e9 / float64(res.Pairs)
+		}
+		return e
+	}
+
+	run := func(engine string, route sim.AppendRouteFunc) (sim.ThroughputResult, error) {
+		return sim.ThroughputWith(nt, route, wl, sim.ThroughputOpts{Engine: engine, SkipReplay: true})
+	}
+
+	kres, err := run("greedy_kernel", kernelRoute(nw))
+	if err != nil {
+		return nil, err
+	}
+	entries := []TableBenchEntry{mk(kres)}
+
+	cacheEng := NewSCGEngine(nw)
+	cold, err := run("cache_cold", cacheEng.AppendRoute)
+	if err != nil {
+		return nil, err
+	}
+	e := mk(cold)
+	st := cacheEng.Stats()
+	e.CacheHitRate, e.CacheEntries = st.HitRate(), st.Entries
+	entries = append(entries, e)
+
+	warm, err := run("cache_warm", cacheEng.AppendRoute)
+	if err != nil {
+		return nil, err
+	}
+	e = mk(warm)
+	st = cacheEng.Stats()
+	e.CacheHitRate, e.CacheEntries = st.HitRate(), st.Entries
+	entries = append(entries, e)
+
+	tab, err := tables.Build(nw, tables.Config{Mode: tables.ModeDense})
+	if err != nil {
+		return nil, err
+	}
+	tableEng := NewSCGEngine(nw)
+	if err := tableEng.CachedRouter().UseTable(tab); err != nil {
+		return nil, err
+	}
+	tcold, err := run("table_cold", tableEng.AppendRoute)
+	if err != nil {
+		return nil, err
+	}
+	e = mk(tcold)
+	e.TableBytes, e.BuildSeconds = tab.Bytes(), tab.BuildTime().Seconds()
+	entries = append(entries, e)
+
+	twarm, err := run("table_warm", tableEng.AppendRoute)
+	if err != nil {
+		return nil, err
+	}
+	e = mk(twarm)
+	e.TableBytes, e.BuildSeconds = tab.Bytes(), tab.BuildTime().Seconds()
+	if warm.PairsPerSec > 0 {
+		e.SpeedupVsCacheWarm = twarm.PairsPerSec / warm.PairsPerSec
+	}
+	entries = append(entries, e)
+
+	if twarm.TotalHops != warm.TotalHops || twarm.TotalHops != kres.TotalHops {
+		return nil, fmt.Errorf("hop totals disagree across engines (kernel %d, cache %d, table %d)",
+			kres.TotalHops, warm.TotalHops, twarm.TotalHops)
+	}
+	return entries, nil
+}

@@ -66,6 +66,7 @@ type ObsBenchRound struct {
 // ObsBenchReport is the BENCH_obs.json document.
 type ObsBenchReport struct {
 	Generated           string          `json:"generated"`
+	Parallelism         string          `json:"parallelism"`
 	GoMaxProcs          int             `json:"go_max_procs"`
 	NumCPU              int             `json:"num_cpu"`
 	Note                string          `json:"note"`
@@ -108,9 +109,10 @@ func BenchObs(cfg ObsBenchConfig) (*ObsBenchReport, error) {
 	}
 
 	rep := &ObsBenchReport{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Parallelism: hostParallelism(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		Note: "warm-cache pair routing timed with telemetry disabled vs enabled in alternating " +
 			"rounds; best round per side; overhead_pct = (1 - enabled/disabled) * 100, budget < 2%",
 		Net:      cfg.Network.Name(),

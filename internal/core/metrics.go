@@ -77,6 +77,8 @@ var (
 		"generator steps emitted by the RouteInto kernel")
 	mScratchNew = obs.Default.Counter("scg_route_scratch_new_total",
 		"RouteScratch values newly allocated by router pools (pool recycling keeps this flat)")
+	mTableServed = obs.Default.Counter("scg_route_table_served_total",
+		"routes served by the precomputed quotient table ahead of the LRU")
 )
 
 // liveCaches is the roster the cache collectors aggregate over; every

@@ -116,6 +116,17 @@ func (nw *Network) Set() *gens.Set { return nw.set }
 // Star returns the (nl+1)-star graph this network emulates.
 func (nw *Network) Star() *star.Graph { return nw.star }
 
+// DimExpansion returns the precompiled generator-index expansion of
+// star move T_j (j = 2..K()): the compact form of EmulateStarDim(j).
+// The returned slice is shared and must not be modified; table-mode
+// routing (internal/tables) replays these per greedy dimension.
+func (nw *Network) DimExpansion(j int) []gens.GenIndex {
+	if j < 2 || j > nw.k {
+		panic(fmt.Sprintf("core: DimExpansion(%d) out of range [2,%d] on %s", j, nw.k, nw.Name()))
+	}
+	return nw.dimExp[j]
+}
+
 // Directed reports whether the network is a directed Cayley graph.
 func (nw *Network) Directed() bool { return !nw.set.Closed() }
 

@@ -89,6 +89,28 @@ func (nw *Network) RouteInto(dst []gens.GenIndex, u, v perm.Perm, s *RouteScratc
 	return dst
 }
 
+// GreedyDim returns the star dimension the greedy cycle algorithm
+// moves along next for quotient w: w[0] when symbol 1 is away from
+// home (send the outside symbol to its position), otherwise the first
+// misplaced position (open the next non-trivial cycle), or 0 when w is
+// already the identity.  Every routing mode in the repository — the
+// inline kernel below, the precomputed tables of internal/tables —
+// derives its next step from this one function, which is what makes
+// table-mode routes port-identical to RouteInto by construction.
+//
+//scg:noalloc
+func GreedyDim(w perm.Perm) int {
+	if x := int(w[0]); x != 1 {
+		return x
+	}
+	for i := 1; i < len(w); i++ {
+		if int(w[i]) != i+1 {
+			return i + 1
+		}
+	}
+	return 0
+}
+
 // appendQuotientRoute appends the route that sorts quotient w to the
 // identity — the greedy cycle algorithm of the star graph with every
 // star move T_j replaced by its precompiled expansion dimExp[j].  w is
@@ -96,23 +118,8 @@ func (nw *Network) RouteInto(dst []gens.GenIndex, u, v perm.Perm, s *RouteScratc
 //
 //scg:noalloc
 func (nw *Network) appendQuotientRoute(dst []gens.GenIndex, w perm.Perm) []gens.GenIndex {
-	k := len(w)
 	for {
-		x := int(w[0])
-		if x != 1 {
-			// Send the outside symbol home: star move T_x.
-			dst = append(dst, nw.dimExp[x]...)
-			w[0], w[x-1] = w[x-1], w[0]
-			continue
-		}
-		// Symbol 1 is home: open the next non-trivial cycle, if any.
-		j := 0
-		for i := 1; i < k; i++ {
-			if int(w[i]) != i+1 {
-				j = i + 1
-				break
-			}
-		}
+		j := GreedyDim(w)
 		if j == 0 {
 			return dst
 		}

@@ -17,9 +17,16 @@ import (
 // generator indices; Set().Decode recovers the labelled sequence, and
 // the indices are exactly the sim package's port numbers.
 type CachedRouter struct {
-	nw      *Network
-	cache   *RouteCache
-	scratch sync.Pool // *RouteScratch
+	nw    *Network
+	cache *RouteCache
+	// table, when non-nil, is consulted before the cache (see table.go:
+	// fall-through is table → LRU → greedy kernel).  rankTable is the
+	// same table seen through the optional RankTable extension (set by
+	// UseTable when the assertion holds), letting AppendRouteRanks skip
+	// the two UnrankInto calls per pair.
+	table     QuotientTable
+	rankTable RankTable
+	scratch   sync.Pool // *RouteScratch
 }
 
 // NewCachedRouter builds a router for nw; the zero CacheConfig picks
@@ -78,6 +85,14 @@ func (cr *CachedRouter) appendRoute(dst []gens.GenIndex, u, v perm.Perm, s *Rout
 	}
 	v.InverseInto(s.inv)
 	s.inv.ComposeInto(s.w, u)
+	if t := cr.table; t != nil {
+		if out, ok := t.AppendQuotientRoute(dst, s.w); ok {
+			s.hit = true
+			mTableServed.Inc()
+			return out
+		}
+		// Declined (uncovered band): s.w is intact, fall through.
+	}
 	key := cr.quotientKey(s.w)
 	if out, ok := cr.cache.get(dst, key, s.w); ok {
 		s.hit = true
@@ -104,10 +119,24 @@ func (cr *CachedRouter) AppendRouteRanks(dst []gens.GenIndex, src, dstRank int64
 		return dst, fmt.Errorf("core: rank pair (%d, %d) out of range [0, %d)", src, dstRank, n)
 	}
 	s := cr.scratch.Get().(*RouteScratch)
-	perm.UnrankInto(s.u, src)
-	perm.UnrankInto(s.v, dstRank)
 	mark := len(dst)
-	dst = cr.appendRoute(dst, s.u, s.v, s)
+	if rt := cr.rankTable; rt != nil {
+		// Rank-addressed fast lane: the table resolves both endpoints
+		// from its own slab, so neither UnrankInto runs.
+		if out, ok := rt.AppendRouteRanks(dst, src, dstRank); ok {
+			dst = out
+			s.hit = true
+			mTableServed.Inc()
+		} else {
+			perm.UnrankInto(s.u, src)
+			perm.UnrankInto(s.v, dstRank)
+			dst = cr.appendRoute(dst, s.u, s.v, s)
+		}
+	} else {
+		perm.UnrankInto(s.u, src)
+		perm.UnrankInto(s.v, dstRank)
+		dst = cr.appendRoute(dst, s.u, s.v, s)
+	}
 	hops := len(dst) - mark
 	// One scratch-page observation per pair (flushed to the histogram
 	// striped on the source rank, so parallel RouteMany workers spread

@@ -52,8 +52,10 @@ func TestAnnotationsIndexed(t *testing.T) {
 	m := repoModule(t)
 	wantNoalloc := []string{
 		"UnrankInto", "InverseInto", "ComposeInto", // perm kernels
+		"LehmerDigitsInto", "RankAfterSwap", "RankSwapUpdate", // perm incremental rerank
 		"ApplyInto", "ReplayInto", // gens kernels
-		"RouteInto", "appendQuotientRoute", // core kernel + callee
+		"RouteInto", "appendQuotientRoute", "GreedyDim", // core kernel + callees
+		"appendDense",                                     // tables lookup loop
 		"AddAt", "IncAt", "Observe", "Enabled", "Sampled", // obs hot half
 	}
 	wantDeterministic := []string{

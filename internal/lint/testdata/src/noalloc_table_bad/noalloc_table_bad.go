@@ -1,0 +1,31 @@
+// Package noalloc_table_bad breaks the table-walk allowances: a
+// heap-allocated digit slice per call, and a rerank through the
+// allocating LehmerDigits instead of the annotated incremental
+// primitives.
+package noalloc_table_bad
+
+import (
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+type table struct {
+	dims []uint8
+	exp  [][]gens.GenIndex
+}
+
+//scg:noalloc
+func (t *table) walk(dst []gens.GenIndex, w perm.Perm) []gens.GenIndex {
+	dig := make([]int32, len(w)) // want noalloc
+	rank := perm.LehmerDigitsInto(dig, w)
+	for {
+		d := t.dims[rank]
+		if d == 0 {
+			return dst
+		}
+		j := int(d) - 1
+		w[0], w[j] = w[j], w[0]
+		_ = w.LehmerDigits() // want noalloc
+		rank = w.Rank()      // want noalloc
+	}
+}

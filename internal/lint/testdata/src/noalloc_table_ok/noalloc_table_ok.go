@@ -1,0 +1,36 @@
+// Package noalloc_table_ok shows the precomputed-table lookup path is
+// legal inside //scg:noalloc kernels: the walk keeps its Lehmer digit
+// vector in a stack array (fixed-size arrays are not heap composite
+// literals), drives the annotated incremental-rerank primitives of
+// internal/perm, reads the flat dims slab, and appends precompiled
+// expansions onto the caller's buffer — the shape of
+// tables.(*Table).appendDense.  The lint self-test asserts zero
+// findings.
+package noalloc_table_ok
+
+import (
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+type table struct {
+	dims []uint8
+	exp  [][]gens.GenIndex
+}
+
+//scg:noalloc
+func (t *table) walk(dst []gens.GenIndex, w perm.Perm) []gens.GenIndex {
+	var digArr [perm.MaxK]int32 // stack array, not a heap literal
+	dig := digArr[:len(w)]
+	rank := perm.LehmerDigitsInto(dig, w)
+	for {
+		d := t.dims[rank]
+		if d == 0 {
+			return dst
+		}
+		dst = append(dst, t.exp[d]...) // growing the caller's buffer is the one allowance
+		j := int(d) - 1
+		rank += perm.RankSwapUpdate(w, dig, 0, j)
+		w[0], w[j] = w[j], w[0]
+	}
+}

@@ -52,3 +52,47 @@ func FuzzLehmerRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRankAfterSwap cross-checks the incremental transposition rerank
+// (both the pure and the digit-maintained variant) against a full
+// swap-then-Rank recomputation on arbitrary (k, rank, i, j) inputs.
+func FuzzRankAfterSwap(f *testing.F) {
+	f.Add(uint(1), uint64(0), uint(0), uint(0))
+	f.Add(uint(5), uint64(63), uint(0), uint(4))
+	f.Add(uint(8), uint64(40319), uint(3), uint(3))
+	f.Add(uint(10), uint64(1234567), uint(0), uint(9))
+	f.Add(uint(12), uint64(479001599), uint(5), uint(6))
+	f.Add(uint(20), uint64(2432902008176639999), uint(0), uint(19))
+	f.Fuzz(func(t *testing.T, kRaw uint, rankRaw uint64, iRaw, jRaw uint) {
+		k := int(kRaw%MaxK) + 1 // 1..MaxK
+		rank := int64(rankRaw % uint64(Factorial(k)))
+		i, j := int(iRaw%uint(k)), int(jRaw%uint(k))
+
+		p := Unrank(k, rank)
+		got := RankAfterSwap(p, rank, i, j)
+		q := p.Clone()
+		q[i], q[j] = q[j], q[i]
+		want := q.Rank()
+		if got != want {
+			t.Fatalf("RankAfterSwap(k=%d rank=%d i=%d j=%d) = %d, want %d", k, rank, i, j, got, want)
+		}
+		if sym := RankAfterSwap(p, rank, j, i); sym != got {
+			t.Fatalf("RankAfterSwap not symmetric: (i=%d,j=%d)=%d vs (j,i)=%d", i, j, got, sym)
+		}
+
+		dig := make([]int32, k)
+		if dr := LehmerDigitsInto(dig, p); dr != rank {
+			t.Fatalf("LehmerDigitsInto rank %d, want %d", dr, rank)
+		}
+		if upd := rank + RankSwapUpdate(p, dig, i, j); upd != want {
+			t.Fatalf("RankSwapUpdate(k=%d rank=%d i=%d j=%d) gives %d, want %d", k, rank, i, j, upd, want)
+		}
+		ref := make([]int32, k)
+		LehmerDigitsInto(ref, q)
+		for m := range dig {
+			if dig[m] != ref[m] {
+				t.Fatalf("RankSwapUpdate digit %d = %d, want %d (k=%d rank=%d i=%d j=%d)", m, dig[m], ref[m], k, rank, i, j)
+			}
+		}
+	})
+}

@@ -411,8 +411,19 @@ func All(k int, fn func(Perm) bool) {
 	}
 }
 
+// Next advances p to its lexicographic (Lehmer-rank) successor in
+// place, returning false when p was already the last permutation.
+// Band builders in internal/tables use UnrankInto once at a band
+// start and Next for every subsequent rank, which is amortized O(1)
+// per step versus O(k log k) for repeated unranking.
+//
+//scg:noalloc
+func Next(p Perm) bool { return nextLex(p) }
+
 // nextLex advances p to its lexicographic successor in place,
 // returning false when p was the last permutation.
+//
+//scg:noalloc
 func nextLex(p Perm) bool {
 	k := len(p)
 	i := k - 2

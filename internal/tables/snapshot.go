@@ -1,0 +1,296 @@
+package tables
+
+// Versioned binary snapshot of a routing table, so cold starts can
+// load precomputed state instead of rebuilding it.
+//
+// Layout (little-endian):
+//
+//	[0, 4)    magic "SCGT"
+//	[4, 8)    format version (currently 1)
+//	header    k, mode, policy, bandBits, n, payload offset/length,
+//	          payload CRC32, network name, dimension expansions,
+//	          header CRC32 (IEEE, over every header byte before it)
+//	padding   zero bytes up to the payload offset — the payload starts
+//	          on a snapshotAlign boundary so a loader may mmap the file
+//	          and use the dims region in place
+//	payload   dense: the n dims bytes verbatim.
+//	          banded: a built-band presence bitmap, then the built
+//	          bands concatenated in band order.
+//
+// The expansions ride in the header, so Load is self-contained — no
+// Network needed; core.CachedRouter.UseTable re-validates name and k
+// before the table can serve routes.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+const (
+	snapshotMagic   = "SCGT"
+	snapshotVersion = 1
+	// snapshotAlign is the payload alignment: one common page.
+	snapshotAlign = 4096
+)
+
+// Save writes the snapshot of t to w.  For banded tables it captures
+// the bands built at the time of the call; concurrent faults may add
+// bands that the snapshot will not contain.
+func (t *Table) Save(w io.Writer) error {
+	var payload []byte
+	if t.mode == ModeDense {
+		payload = t.dims
+	} else {
+		nb := t.numBands()
+		bitmap := make([]byte, (nb+7)/8)
+		var body bytes.Buffer
+		for b := int64(0); b < nb; b++ {
+			p := t.bands[b].Load()
+			if p == nil {
+				continue
+			}
+			bitmap[b>>3] |= 1 << uint(b&7)
+			body.Write(*p)
+		}
+		payload = append(bitmap, body.Bytes()...)
+	}
+
+	var hdr bytes.Buffer
+	hdr.WriteString(snapshotMagic)
+	le := binary.LittleEndian
+	put32 := func(v uint32) { _ = binary.Write(&hdr, le, v) }
+	put64 := func(v uint64) { _ = binary.Write(&hdr, le, v) }
+	put32(snapshotVersion)
+	put32(uint32(t.k))
+	put32(uint32(t.mode))
+	put32(uint32(t.policy))
+	put32(uint32(t.bandBits))
+	put64(uint64(t.n))
+	put64(uint64(len(payload)))
+	put32(crc32.ChecksumIEEE(payload))
+	name := []byte(t.name)
+	put32(uint32(len(name)))
+	hdr.Write(name)
+	put32(uint32(len(t.exp) - 2)) // expansions for d = 2..k
+	for d := 2; d <= t.k; d++ {
+		e := t.exp[d]
+		put32(uint32(len(e)))
+		for _, g := range e {
+			hdr.WriteByte(byte(g))
+		}
+	}
+	// The payload offset is determined by the header + CRC + alignment;
+	// write it as a trailing fixed field so the reader can seek.
+	off := (hdr.Len() + 8 + 4 + snapshotAlign - 1) / snapshotAlign * snapshotAlign
+	put64(uint64(off))
+	put32(crc32.ChecksumIEEE(hdr.Bytes()))
+	pad := make([]byte, off-hdr.Len())
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, chunk := range [][]byte{hdr.Bytes(), pad, payload} {
+		if _, err := bw.Write(chunk); err != nil {
+			return fmt.Errorf("tables: snapshot write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("tables: snapshot write: %w", err)
+	}
+	mSnapshotSaves.Inc()
+	return nil
+}
+
+// WriteFile saves the snapshot atomically: temp file + rename.
+func (t *Table) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a snapshot written by Save and reconstructs the table.
+// Corrupted headers or payloads (bad magic, unknown version, CRC
+// mismatch, inconsistent geometry) are rejected with an error.
+func Load(r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	fixed := make([]byte, 4+4+4+4+4+4+8+8+4+4)
+	if _, err := io.ReadFull(br, fixed); err != nil {
+		return nil, fmt.Errorf("tables: snapshot header: %w", err)
+	}
+	if string(fixed[:4]) != snapshotMagic {
+		return nil, fmt.Errorf("tables: bad snapshot magic %q", fixed[:4])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(fixed[4:]); v != snapshotVersion {
+		return nil, fmt.Errorf("tables: snapshot version %d, want %d", v, snapshotVersion)
+	}
+	k := int(le.Uint32(fixed[8:]))
+	mode := Mode(le.Uint32(fixed[12:]))
+	policy := FaultPolicy(le.Uint32(fixed[16:]))
+	bandBits := uint(le.Uint32(fixed[20:]))
+	n := int64(le.Uint64(fixed[24:]))
+	payloadLen := int64(le.Uint64(fixed[32:]))
+	payloadCRC := le.Uint32(fixed[40:])
+	nameLen := int(le.Uint32(fixed[44:]))
+	if k < 2 || k > BandedMaxK || n != perm.Factorial(k) {
+		return nil, fmt.Errorf("tables: snapshot geometry k=%d n=%d inconsistent", k, n)
+	}
+	if mode != ModeDense && mode != ModeBanded {
+		return nil, fmt.Errorf("tables: snapshot mode %d unknown", mode)
+	}
+	if bandBits == 0 || bandBits > 30 {
+		return nil, fmt.Errorf("tables: snapshot band bits %d out of range", bandBits)
+	}
+	if nameLen < 1 || nameLen > 255 {
+		return nil, fmt.Errorf("tables: snapshot name length %d out of range", nameLen)
+	}
+	rest := make([]byte, nameLen+4)
+	if _, err := io.ReadFull(br, rest); err != nil {
+		return nil, fmt.Errorf("tables: snapshot header: %w", err)
+	}
+	name := string(rest[:nameLen])
+	expCount := int(le.Uint32(rest[nameLen:]))
+	if expCount != k-1 {
+		return nil, fmt.Errorf("tables: snapshot has %d expansions, want %d", expCount, k-1)
+	}
+	hdr := append(append([]byte(nil), fixed...), rest...)
+	exp := make([][]gens.GenIndex, k+1)
+	var lenBuf [4]byte
+	for d := 2; d <= k; d++ {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("tables: snapshot expansions: %w", err)
+		}
+		hdr = append(hdr, lenBuf[:]...)
+		el := int(le.Uint32(lenBuf[:]))
+		if el > 1<<16 {
+			return nil, fmt.Errorf("tables: snapshot expansion %d length %d implausible", d, el)
+		}
+		raw := make([]byte, el)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("tables: snapshot expansions: %w", err)
+		}
+		hdr = append(hdr, raw...)
+		e := make([]gens.GenIndex, el)
+		for i, b := range raw {
+			e[i] = gens.GenIndex(b)
+		}
+		exp[d] = e
+	}
+	tail := make([]byte, 8+4)
+	if _, err := io.ReadFull(br, tail); err != nil {
+		return nil, fmt.Errorf("tables: snapshot header: %w", err)
+	}
+	off := int64(le.Uint64(tail[:8]))
+	wantCRC := le.Uint32(tail[8:])
+	hdr = append(hdr, tail[:8]...)
+	if got := crc32.ChecksumIEEE(hdr); got != wantCRC {
+		return nil, fmt.Errorf("tables: snapshot header checksum %08x, want %08x (corrupted header)", got, wantCRC)
+	}
+	if off < int64(len(hdr)+4) || off%snapshotAlign != 0 {
+		return nil, fmt.Errorf("tables: snapshot payload offset %d misaligned", off)
+	}
+	if _, err := io.CopyN(io.Discard, br, off-int64(len(hdr))-4); err != nil {
+		return nil, fmt.Errorf("tables: snapshot padding: %w", err)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("tables: snapshot payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != payloadCRC {
+		return nil, fmt.Errorf("tables: snapshot payload checksum %08x, want %08x (corrupted payload)", got, payloadCRC)
+	}
+
+	t := &Table{
+		name:     name,
+		k:        k,
+		n:        n,
+		exp:      exp,
+		mode:     mode,
+		policy:   policy,
+		bandBits: bandBits,
+		bandMask: int64(1)<<bandBits - 1,
+	}
+	if mode == ModeDense {
+		if payloadLen != n {
+			return nil, fmt.Errorf("tables: dense payload %d bytes, want %d", payloadLen, n)
+		}
+		t.dims = payload
+		if k <= FastLaneMaxK {
+			// The fast lane is derived state (a straight walk of the
+			// rank space), so it never rides in the snapshot — the
+			// payload stays 1 byte per rank and Load re-derives it.
+			t.perms = make([]uint8, n*int64(k))
+			t.next = make([]uint32, n)
+			buildRange(nil, t.perms, t.next, k, 0, n, 0)
+		}
+		t.bandsBuilt.Store(1)
+		t.resident.Store(n + int64(len(t.perms)) + 4*int64(len(t.next)))
+	} else {
+		nb := t.numBands()
+		bmLen := (nb + 7) / 8
+		if payloadLen < bmLen {
+			return nil, fmt.Errorf("tables: banded payload %d bytes shorter than bitmap %d", payloadLen, bmLen)
+		}
+		bitmap := payload[:bmLen]
+		body := payload[bmLen:]
+		t.bands = make([]atomic.Pointer[[]uint8], nb)
+		var built, bytesIn int64
+		for b := int64(0); b < nb; b++ {
+			if bitmap[b>>3]&(1<<uint(b&7)) == 0 {
+				continue
+			}
+			lo := b << bandBits
+			hi := lo + t.bandMask + 1
+			if hi > n {
+				hi = n
+			}
+			size := hi - lo
+			if int64(len(body)) < size {
+				return nil, fmt.Errorf("tables: banded payload truncated at band %d", b)
+			}
+			band := body[:size:size]
+			body = body[size:]
+			dims := []uint8(band)
+			t.bands[b].Store(&dims)
+			built++
+			bytesIn += size
+		}
+		if len(body) != 0 {
+			return nil, fmt.Errorf("tables: banded payload has %d trailing bytes", len(body))
+		}
+		t.bandsBuilt.Store(built)
+		t.resident.Store(bytesIn)
+	}
+	registerTable(t)
+	mSnapshotLoads.Inc()
+	return t, nil
+}
+
+// ReadFile loads a snapshot from path.
+func ReadFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

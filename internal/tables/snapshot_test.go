@@ -1,0 +1,154 @@
+package tables
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"supercayley/internal/core"
+	"supercayley/internal/perm"
+)
+
+func routesEqual(t *testing.T, a, b *Table, k int) {
+	t.Helper()
+	wa := make(perm.Perm, k)
+	wb := make(perm.Perm, k)
+	perm.All(k, func(q perm.Perm) bool {
+		copy(wa, q)
+		copy(wb, q)
+		ra, oka := a.AppendQuotientRoute(nil, wa)
+		rb, okb := b.AppendQuotientRoute(nil, wb)
+		if oka != okb {
+			t.Fatalf("quotient %v: coverage differs (%v vs %v)", q, oka, okb)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("quotient %v: routes differ (%v vs %v)", q, ra, rb)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("quotient %v: routes differ at %d (%v vs %v)", q, i, ra, rb)
+			}
+		}
+		return true
+	})
+}
+
+// TestSnapshotRoundTripDense saves a dense table and reloads it; the
+// loaded table must route identically and carry the same metadata.
+func TestSnapshotRoundTripDense(t *testing.T) {
+	nw := core.MustNew(core.MS, 2, 2)
+	tab, err := Build(nw, Config{Mode: ModeDense})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "ms22.scgt")
+	if err := tab.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Name() != tab.Name() || got.K() != tab.K() || got.N() != tab.N() || got.Mode() != tab.Mode() {
+		t.Fatalf("loaded metadata %+v, want %+v", got.Stats(), tab.Stats())
+	}
+	if !bytes.Equal(got.dims, tab.dims) {
+		t.Fatalf("loaded dims differ from saved dims")
+	}
+	routesEqual(t, tab, got, nw.K())
+	// A loaded table must pass router validation, i.e. survive restarts
+	// as a drop-in.
+	cr := core.NewCachedRouter(nw, core.CacheConfig{})
+	if err := cr.UseTable(got); err != nil {
+		t.Fatalf("UseTable on loaded table: %v", err)
+	}
+}
+
+// TestSnapshotRoundTripBanded saves a partially built banded table;
+// the loaded table must have the same bands resident and the same
+// coverage behavior.
+func TestSnapshotRoundTripBanded(t *testing.T) {
+	nw := core.MustNew(core.IS, 1, 4) // IS(5)
+	tab, err := Build(nw, Config{Mode: ModeBanded, BandBits: 4, Policy: FaultDecline})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := tab.Prebuild(1, 4); err != nil {
+		t.Fatalf("Prebuild: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Stats().BandsBuilt != tab.Stats().BandsBuilt || got.Bytes() != tab.Bytes() {
+		t.Fatalf("loaded census %+v, want %+v", got.Stats(), tab.Stats())
+	}
+	if got.Policy() != FaultDecline {
+		t.Fatalf("loaded policy %v, want decline", got.Policy())
+	}
+	routesEqual(t, tab, got, nw.K())
+}
+
+// TestSnapshotCorruptionRejected flips bytes across the file and
+// checks every corruption is caught (header CRC, payload CRC, magic,
+// version), and that truncations fail cleanly.
+func TestSnapshotCorruptionRejected(t *testing.T) {
+	nw := core.MustNew(core.MR, 2, 2)
+	tab, err := Build(nw, Config{Mode: ModeDense})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	good := buf.Bytes()
+	if _, err := Load(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	// Corrupt one byte at a spread of offsets: inside the magic, the
+	// fixed header, the name/expansions, and the payload.
+	offsets := []int{0, 5, 9, 30, 50, len(good) - 1}
+	for _, off := range offsets {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x41
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at offset %d accepted", off)
+		}
+	}
+	for _, cut := range []int{3, 20, 60, snapshotAlign, len(good) - 10} {
+		if cut >= len(good) {
+			continue
+		}
+		if _, err := Load(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestWriteFileAtomic checks the temp-and-rename contract: a failed
+// save leaves no partial file behind.
+func TestWriteFileAtomic(t *testing.T) {
+	nw := core.MustNew(core.RS, 2, 2)
+	tab, err := Build(nw, Config{Mode: ModeDense})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "nope.scgt")
+	if err := tab.WriteFile(path); err == nil {
+		t.Fatalf("WriteFile into a missing directory succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed WriteFile left debris: %v", entries)
+	}
+}
