@@ -48,6 +48,13 @@ go test -race -count=2 ./internal/sim/...
 echo "== go test -race ./internal/obs (telemetry layer)"
 go test -race -count=2 ./internal/obs
 
+# The serve batching pipeline races Submit against Close by design;
+# hammer the differential, drain, and backpressure suite under the
+# race detector (TestHammerWhileDrain is the dropped/duplicated/
+# misattributed-response gate).
+echo "== go test -race ./internal/serve (batching pipeline)"
+go test -race -count=2 ./internal/serve
+
 # Routing-engine smoke: run every Route benchmark once, plus the
 # allocation-regression guards (tagged !race — sync.Pool drops items
 # under the race detector, so they cannot run in the -race pass).
@@ -55,6 +62,12 @@ go test -race -count=2 ./internal/obs
 # the instrumented warm path (hop page + sampler) still allocates zero.
 echo "== bench smoke (-bench=Route -benchtime=1x) + alloc guards"
 go test -run='AllocFree$' -bench=Route -benchtime=1x ./internal/core
+
+# Serve-pipeline alloc guard: the steady-state enqueue→flush cycle
+# (pooled job, worker-owned batch buffers, sequential RouteManyInto)
+# must stay at AllocsPerRun == 0.
+echo "== serve pipeline alloc guard"
+go test -run='AllocFree$' ./internal/serve
 
 # Table-mode gates: the ten-family differential (table routes must be
 # port-identical to the RouteInto kernel), the snapshot round-trip and
@@ -64,9 +77,9 @@ echo "== table-mode differential + snapshot round-trip + alloc guards"
 go test -run='Differential|Snapshot' ./internal/tables
 go test -run='AllocFree$' ./internal/tables
 
-# scg serve smoke: boot the debug endpoint on an ephemeral port, then
-# check /metrics exposes the route-cache counters and the pprof
-# handlers answer.
+# scg serve smoke: boot the routing service on an ephemeral port, then
+# route through /route and /route/bulk and check /metrics exposes the
+# route-cache and serve counters and the pprof handlers answer.
 echo "== scg serve smoke"
 tmpdir=$(mktemp -d)
 serve_pid=""
@@ -82,7 +95,7 @@ go build -o "$tmpdir/scg" ./cmd/scg
 serve_pid=$!
 addr=""
 for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
-    addr=$(sed -n 's|^scg serve: listening on http://||p' "$tmpdir/serve.log")
+    addr=$(sed -n 's|^scg serve: routing .*, listening on http://||p' "$tmpdir/serve.log")
     if [ -n "$addr" ]; then break; fi
     sleep 0.25
 done
@@ -91,11 +104,28 @@ if [ -z "$addr" ]; then
     cat "$tmpdir/serve.log" >&2
     exit 1
 fi
-# Fetch to a file before grepping: grep -q closing the pipe early
-# would otherwise make curl report a spurious write error.
+# Route through the service before scraping, so the serve counters
+# have moved.  Fetch to files before grepping: grep -q closing the
+# pipe early would otherwise make curl report a spurious write error.
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"src": 5, "dst": 99}' "http://$addr/route" >"$tmpdir/route.json"
+grep -q '"ports"' "$tmpdir/route.json" || {
+    echo "/route returned no ports: $(cat "$tmpdir/route.json")" >&2
+    exit 1
+}
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"srcs": [5, 7], "dsts": [99, 3]}' "http://$addr/route/bulk" >"$tmpdir/bulk.json"
+grep -q '"count":2' "$tmpdir/bulk.json" || {
+    echo "/route/bulk did not answer both pairs: $(cat "$tmpdir/bulk.json")" >&2
+    exit 1
+}
 curl -fsS "http://$addr/metrics" >"$tmpdir/metrics.txt"
 grep -q '^scg_route_cache_hits_total ' "$tmpdir/metrics.txt" || {
     echo "/metrics is missing scg_route_cache_hits_total" >&2
+    exit 1
+}
+grep -q '^scg_serve_bulk_requests_total 1' "$tmpdir/metrics.txt" || {
+    echo "/metrics did not count the bulk request" >&2
     exit 1
 }
 curl -fsS -o /dev/null "http://$addr/debug/pprof/cmdline" || {
@@ -104,6 +134,13 @@ curl -fsS -o /dev/null "http://$addr/debug/pprof/cmdline" || {
 }
 kill "$serve_pid" 2>/dev/null || true
 serve_pid=""
+
+# Loadtest smoke: a short open-loop run through the full HTTP + batch
+# path (binary lane), proving the driver, the codec, and the latency
+# report end to end.  The committed BENCH_serve.json comes from the
+# full-length run documented in EXPERIMENTS.md.
+echo "== scg loadtest smoke"
+"$tmpdir/scg" loadtest -duration 2s -load 50000 -bulk 512 -conns 2 -warm 20000
 
 echo "== fuzz smoke"
 go test -run='^$' -fuzz=FuzzLehmerRoundTrip -fuzztime=10s ./internal/perm

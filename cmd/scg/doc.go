@@ -1,8 +1,8 @@
 // Command scg is the command-line interface to the super Cayley graph
 // library: inspect networks, route packets, print all-port emulation
 // schedules, measure embeddings, play the ball-arrangement game,
-// simulate communication tasks, and observe the routing engine's
-// always-on telemetry.
+// simulate communication tasks, serve routing traffic over HTTP, and
+// observe the routing engine's always-on telemetry.
 //
 // Usage:
 //
@@ -14,24 +14,34 @@
 //	scg tasks     -family MS -l 2 -n 2 -task mnb -model all-port
 //	scg faults    -family MS -l 3 -n 2 -mode random -nodefrac 0.05 -linkfrac 0.05
 //	scg stats     -family MS -l 7 -n 1 -pairs 20000
-//	scg serve     -addr localhost:8650 -warm 20000 -family MS -l 7 -n 1
+//	scg serve     -addr localhost:8650 -family MS -l 7 -n 1 -batch 512 -rate 500000
+//	scg loadtest  -family MS -k 8 -load 600000 -bulk 2048 -duration 5s
 //	scg bench-obs -family MS -k 8 -out BENCH_obs.json
 //
 // Every subcommand in main.go is reproducible from its flags: all
 // randomness flows from the -seed flag through seededRand, never from
 // the global math/rand source or the clock, and the file-wide
 // scg:deterministic directive there makes scglint enforce it.  The
-// observability commands in serve.go (serve, stats, bench-obs) are
-// the deliberate exception — serving HTTP and timing overhead need
-// the wall clock — and carry no directive.
+// service and observability commands in serve.go and loadtest.go
+// (serve, stats, bench-obs, loadtest) are the deliberate exception —
+// serving HTTP and measuring latency need the wall clock — and carry
+// no directive.
 //
-// `scg serve` exposes the internal/obs registry over HTTP: /metrics
+// `scg serve` is the routing service (DESIGN.md §13): POST /route
+// answers one JSON pair, POST /route/bulk answers many (JSON, or the
+// binary application/x-scg-bulk frame), both fed through the
+// internal/serve batching pipeline with per-client token-bucket
+// admission (-rate, -burst) and graceful SIGINT drain (-drain-wait).
+// It also exposes the internal/obs registry over HTTP: /metrics
 // (Prometheus text format), /metrics.json (the same snapshot as
 // JSON), /trace/routes (the sampled route-trace ring), /debug/vars
 // (expvar, including the scg_metrics and scg_route_cache maps), and
-// /debug/pprof/* (the standard profiling handlers).  `scg stats`
-// routes a seeded workload and dumps the registry once to stdout.
-// `scg bench-obs` times the warm routing hot path with telemetry
-// disabled and enabled and reports the overhead percentage, which
-// BENCH_obs.json snapshots and DESIGN.md §11 budgets at under 2%.
+// /debug/pprof/* (the standard profiling handlers).  `scg loadtest`
+// drives the service open-loop (Poisson arrivals, zipf pairs) and
+// reports latency percentiles, regenerating BENCH_serve.json.  `scg
+// stats` routes a seeded workload and dumps the registry once to
+// stdout.  `scg bench-obs` times the warm routing hot path with
+// telemetry disabled and enabled and reports the overhead percentage,
+// which BENCH_obs.json snapshots and DESIGN.md §11 budgets at under
+// 2%.
 package main

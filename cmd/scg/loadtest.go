@@ -1,0 +1,73 @@
+// The loadtest subcommand lives outside main.go for the same reason
+// serve does: it times real wall-clock HTTP traffic, which the
+// file-wide scg:deterministic directive there bans.
+
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"supercayley/internal/core"
+	"supercayley/internal/serve"
+)
+
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	family := fs.String("family", "MS", "network family routed at k symbols")
+	k := fs.Int("k", 8, "symbols (k = 8 → 40320 nodes, the snapshot protocol)")
+	target := fs.String("target", "", "URL of a running scg serve (default: self-host on loopback)")
+	rate := fs.Float64("load", 600000, "offered load in routes/sec (open loop)")
+	bulk := fs.Int("bulk", 2048, "rank pairs per bulk request")
+	conns := fs.Int("conns", 2, "client connection workers")
+	clients := fs.Int("clients", 8, "distinct admission identities the workers rotate over")
+	duration := fs.Duration("duration", 5*time.Second, "arrival window")
+	seed := fs.Int64("seed", 1, "workload and arrival seed")
+	skew := fs.Float64("skew", 1.2, "zipf exponent (> 1)")
+	warm := fs.Int("warm", 200000, "pairs routed through the service before the clock starts")
+	jsonLane := fs.Bool("json", false, "drive the JSON bulk codec instead of the binary lane")
+	sf := addServeFlags(fs)
+	out := fs.String("out", "", "write the JSON report here (default: stdout only)")
+	fs.Parse(args)
+
+	f, err := core.ParseFamily(*family)
+	if err != nil {
+		return err
+	}
+	nw, err := benchNetworkAtK(f, *k)
+	if err != nil {
+		return err
+	}
+	rep, err := serve.Loadtest(serve.LoadtestConfig{
+		Network:   nw,
+		TargetURL: *target,
+		Rate:      *rate,
+		Bulk:      *bulk,
+		Conns:     *conns,
+		Clients:   *clients,
+		Duration:  *duration,
+		Seed:      *seed,
+		Skew:      *skew,
+		Warm:      *warm,
+		JSONLane:  *jsonLane,
+		Service:   sf.serviceConfig(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}

@@ -57,6 +57,8 @@ func main() {
 		err = cmdBenchObs(args)
 	case "serve":
 		err = cmdServe(args)
+	case "loadtest":
+		err = cmdLoadtest(args)
 	case "stats":
 		err = cmdStats(args)
 	case "export":
@@ -92,7 +94,8 @@ commands:
   bench-routes  measure pair-routing throughput (legacy vs cached engine), write BENCH_routes.json
   bench-tables  measure table vs cache vs greedy routing + table build costs, write BENCH_tables.json
   bench-obs measure telemetry overhead (obs disabled vs enabled), write BENCH_obs.json
-  serve     HTTP debug endpoint: /metrics, /metrics.json, /trace/routes, /debug/vars, /debug/pprof/*
+  serve     routing service + debug endpoint: /route, /route/bulk (batched, admission-controlled), /metrics, /metrics.json, /trace/routes, /debug/vars, /debug/pprof/*
+  loadtest  open-loop load driver for the routing service (Poisson arrivals, zipf pairs), write BENCH_serve.json
   stats     route a seeded workload, then dump the metrics registry once
   export    write the network as Graphviz DOT
   compare   degree/diameter table across families and k

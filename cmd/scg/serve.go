@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
@@ -14,10 +15,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"supercayley/internal/comm"
 	"supercayley/internal/core"
 	"supercayley/internal/obs"
+	"supercayley/internal/serve"
 	"supercayley/internal/sim"
 )
 
@@ -74,12 +79,53 @@ func routeWorkload(nw *core.Network, pairs int, seed int64, skew float64) (sim.T
 	return sim.Throughput(nt, engine.AppendRoute, wl)
 }
 
+// serveFlags bundles the routing-service knobs of `scg serve` so the
+// flag roster stays testable (the cmd drift test walks this
+// function's AST).
+type serveFlags struct {
+	batch     *int
+	maxWait   *time.Duration
+	queue     *int
+	workers   *int
+	maxBulk   *int
+	rate      *float64
+	burst     *float64
+	drainWait *time.Duration
+}
+
+func addServeFlags(fs *flag.FlagSet) *serveFlags {
+	return &serveFlags{
+		batch:     fs.Int("batch", 512, "flush a batch when its pair count reaches this"),
+		maxWait:   fs.Duration("max-wait", 250*time.Microsecond, "flush a non-empty batch when its oldest job has waited this long"),
+		queue:     fs.Int("queue", 1024, "bounded intake queue capacity in jobs (full queue answers 429)"),
+		workers:   fs.Int("route-workers", 0, "flush workers draining the batch queue (0 = GOMAXPROCS)"),
+		maxBulk:   fs.Int("max-bulk", 65536, "largest pair count one bulk request may carry"),
+		rate:      fs.Float64("rate", 0, "per-client admission rate in pairs/sec (0 = no admission control)"),
+		burst:     fs.Float64("burst", 0, "per-client token-bucket burst in pairs (0 = one second of -rate)"),
+		drainWait: fs.Duration("drain-wait", 5*time.Second, "graceful-shutdown budget for in-flight requests on SIGINT/SIGTERM"),
+	}
+}
+
+func (sf *serveFlags) serviceConfig() serve.ServiceConfig {
+	return serve.ServiceConfig{
+		Batch: serve.Config{
+			MaxBatch:  *sf.batch,
+			MaxWait:   *sf.maxWait,
+			QueueJobs: *sf.queue,
+			Workers:   *sf.workers,
+			MaxBulk:   *sf.maxBulk,
+		},
+		Limit: serve.LimitConfig{Rate: *sf.rate, Burst: *sf.burst},
+	}
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8650", "listen address (use :0 for an ephemeral port)")
 	sample := fs.Uint64("trace-sample", 64, "route-trace sampling interval (power of two; 1 = every route)")
 	warm := fs.Int("warm", 0, "route this many seeded pairs on -family before serving (0 = none)")
 	nf := addNetFlags(fs)
+	sf := addServeFlags(fs)
 	seed := fs.Int64("seed", 1, "workload seed for -warm")
 	skew := fs.Float64("skew", 1.2, "zipf exponent for -warm (> 1)")
 	fs.Parse(args)
@@ -87,11 +133,11 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("-trace-sample must be a power of two, got %d", *sample)
 	}
 	obs.RouteTrace.SetSampling(*sample)
+	nw, err := nf.network()
+	if err != nil {
+		return err
+	}
 	if *warm > 0 {
-		nw, err := nf.network()
-		if err != nil {
-			return err
-		}
 		res, err := routeWorkload(nw, *warm, *seed, *skew)
 		if err != nil {
 			return err
@@ -99,13 +145,39 @@ func cmdServe(args []string) error {
 		fmt.Printf("scg serve: warmed with %d pairs on %s (mean route len %.2f)\n",
 			res.Pairs, nw.Name(), res.MeanRouteLen)
 	}
+	svc := serve.NewService(core.NewCachedRouter(nw, core.CacheConfig{}), sf.serviceConfig())
+	mux := newServeMux()
+	svc.RegisterOn(mux)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scg serve: listening on http://%s\n", ln.Addr())
-	fmt.Println("scg serve: endpoints: /metrics /metrics.json /trace/routes /debug/vars /debug/pprof/")
-	return http.Serve(ln, newServeMux())
+	fmt.Printf("scg serve: routing %s, listening on http://%s\n", nw.Name(), ln.Addr())
+	fmt.Println("scg serve: endpoints: /route /route/bulk /metrics /metrics.json /trace/routes /debug/vars /debug/pprof/")
+
+	// Graceful drain: on SIGINT/SIGTERM stop accepting connections,
+	// let in-flight requests finish within -drain-wait, then drain the
+	// batching pipeline (remaining batches flush, new admissions get
+	// 503).
+	srv := &http.Server{Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		svc.Drain()
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Println("scg serve: shutting down (draining in-flight batches)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *sf.drainWait)
+		defer cancel()
+		err := srv.Shutdown(shutdownCtx)
+		svc.Drain()
+		fmt.Println("scg serve: drained")
+		return err
+	}
 }
 
 func cmdStats(args []string) error {

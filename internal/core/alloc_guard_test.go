@@ -79,3 +79,30 @@ func TestAppendRouteRanksWarmAllocFree(t *testing.T) {
 		t.Fatalf("warm AppendRouteRanks allocates %.2f objects per call, want 0", avg)
 	}
 }
+
+// TestRouteManyIntoWarmAllocFree guards the batch-flush primitive the
+// serve pipeline leans on: below the sequential cutoff, re-flushing
+// into a caller-owned BulkRoutes must not allocate once warm.
+func TestRouteManyIntoWarmAllocFree(t *testing.T) {
+	nw := MustNew(MS, 7, 1)
+	cr := NewCachedRouter(nw, CacheConfig{})
+	n := perm.Factorial(nw.K())
+	const pairs = 128
+	srcs := make([]int64, pairs)
+	dsts := make([]int64, pairs)
+	for i := range srcs {
+		srcs[i] = int64(i*977) % n
+		dsts[i] = (srcs[i] + 1) % n
+	}
+	out := &BulkRoutes{}
+	if err := cr.RouteManyInto(out, srcs, dsts); err != nil { // warm cache, pool, and out
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := cr.RouteManyInto(out, srcs, dsts); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("warm RouteManyInto allocates %.2f objects per batch, want 0", avg)
+	}
+}

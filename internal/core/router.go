@@ -189,6 +189,51 @@ func (b *BulkRoutes) Route(i int) []gens.GenIndex {
 // TotalHops returns the summed route length.
 func (b *BulkRoutes) TotalHops() int64 { return b.Offsets[len(b.Offsets)-1] }
 
+// routeManySeqCutoff is the batch size below which RouteManyInto
+// routes inline on the calling goroutine instead of fanning out: a
+// warm pair costs well under a microsecond, so the goroutine and
+// buffer setup of the parallel path only pays for itself on batches
+// in the thousands.  The serve batcher's default flush size sits
+// under this cutoff on purpose — its steady-state flush is a
+// zero-allocation sequential pass.
+const routeManySeqCutoff = 1024
+
+// RouteManyInto is RouteMany with caller-owned result storage: out's
+// slices are truncated and reused, growing only when capacity runs
+// out, so a steady-state caller re-flushing into the same BulkRoutes
+// (the serve batcher) allocates nothing once warm.  Batches below
+// routeManySeqCutoff pairs — or any batch when one worker would run —
+// are routed inline; larger ones take the parallel RouteMany path and
+// are copied into out.
+func (cr *CachedRouter) RouteManyInto(out *BulkRoutes, srcs, dsts []int64) error {
+	if len(srcs) != len(dsts) {
+		return fmt.Errorf("core: RouteManyInto wants equal-length rank slices (%d vs %d)", len(srcs), len(dsts))
+	}
+	pairs := len(srcs)
+	if pairs >= routeManySeqCutoff && graph.Parallelism(pairs) > 1 {
+		res, err := cr.RouteMany(srcs, dsts)
+		if err != nil {
+			return err
+		}
+		out.Offsets = append(out.Offsets[:0], res.Offsets...)
+		out.Steps = append(out.Steps[:0], res.Steps...)
+		return nil
+	}
+	mBulkCalls.Inc()
+	mBulkPairs.Add(uint64(pairs))
+	out.Offsets = append(out.Offsets[:0], 0)
+	out.Steps = out.Steps[:0]
+	for i := 0; i < pairs; i++ {
+		var err error
+		out.Steps, err = cr.AppendRouteRanks(out.Steps, srcs[i], dsts[i])
+		if err != nil {
+			return fmt.Errorf("pair %d: %w", i, err)
+		}
+		out.Offsets = append(out.Offsets, int64(len(out.Steps)))
+	}
+	return nil
+}
+
 // RouteMany routes every (srcs[i], dsts[i]) rank pair in parallel over
 // GOMAXPROCS workers sharing the cache, and returns the routes in
 // pair order as one flat index array.  The output is deterministic:

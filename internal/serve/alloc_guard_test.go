@@ -1,0 +1,58 @@
+//go:build !race
+
+// The allocation-regression guard lives behind the !race tag for the
+// same reason core's does: under the race detector sync.Pool
+// deliberately drops items and allocation counts are inflated by
+// instrumentation.
+
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"supercayley/internal/core"
+)
+
+// TestSubmitWarmAllocFree pins the zero-alloc steady state of the
+// enqueue→flush cycle: with a warm router, a pooled job reused across
+// submissions, and a flush-by-size batcher (MaxBatch 1, so every
+// Submit round-trips through a worker flush), Submit must not
+// allocate at all — job intake, queue send, batch collection, the
+// RouteManyInto flush, result fan-out, and the latency observations
+// included.
+func TestSubmitWarmAllocFree(t *testing.T) {
+	nw := core.MustNew(core.MS, 7, 1) // k = 8, the snapshot protocol
+	cr := core.NewCachedRouter(nw, core.CacheConfig{})
+	b := NewBatcher(cr, Config{MaxBatch: 1, MaxWait: time.Millisecond, Workers: 1})
+	defer b.Close()
+
+	j := b.NewJob()
+	// Warm every buffer on the path: job slices, the worker's batch and
+	// concatenation buffers, the bulk result, and the router's cache
+	// and scratch pool for these pairs.
+	pairs := [][2]int64{{0, 1}, {977, 40319}, {1234, 20160}, {40319, 0}}
+	for r := 0; r < 8; r++ {
+		for _, p := range pairs {
+			j.Reset()
+			j.AddPair(p[0], p[1])
+			if err := b.Submit(j); err != nil {
+				t.Fatalf("warm submit %d→%d: %v", p[0], p[1], err)
+			}
+		}
+	}
+
+	i := 0
+	if avg := testing.AllocsPerRun(400, func() {
+		p := pairs[i&3]
+		i++
+		j.Reset()
+		j.AddPair(p[0], p[1])
+		if err := b.Submit(j); err != nil {
+			t.Fatalf("submit %d→%d: %v", p[0], p[1], err)
+		}
+	}); avg != 0 {
+		t.Fatalf("warm Submit→flush allocates %.2f objects per cycle, want 0", avg)
+	}
+	b.Release(j)
+}

@@ -1,0 +1,442 @@
+package serve
+
+// Open-loop load driver for the routing service, behind `scg
+// loadtest`.  It models an unbounded client population (millions of
+// independent users) the standard way: request arrivals are a Poisson
+// process at the offered rate, with arrival times fixed BEFORE the
+// run — a slow server does not slow the arrival process down, it just
+// falls behind, and the lateness lands in the measured latency.  Each
+// arrival is one bulk request of Bulk zipf-distributed rank pairs
+// (sim.ZipfWorkload, the same seeded workload the throughput
+// harnesses route), issued over real loopback HTTP by a pool of
+// connection workers.  Latency percentiles come out of the
+// internal/obs power-of-two histograms — client end-to-end
+// (arrival→response), server request time, and batch queue wait — as
+// bucket upper bounds via obs.HistSnap.Quantile.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"supercayley/internal/core"
+	"supercayley/internal/obs"
+	"supercayley/internal/perm"
+	"supercayley/internal/sim"
+)
+
+var hClientNs = obs.Default.Pow2Hist("scg_loadtest_client_ns",
+	"open-loop client latency per request: scheduled arrival to response read")
+
+// LoadtestConfig tunes an open-loop run.  Zero-value fields take the
+// noted defaults.
+type LoadtestConfig struct {
+	// Network is the routed network (required).
+	Network *core.Network
+	// TargetURL points at an already-running service; empty self-hosts
+	// a server (with Service settings) on loopback.
+	TargetURL string
+	// Rate is the offered load in routes per second (default 200000).
+	Rate float64
+	// Bulk is the rank pairs per request (default 1024).
+	Bulk int
+	// Conns is the client connection-worker count (default 4).
+	Conns int
+	// Clients is the number of distinct admission identities the
+	// workers round-robin over (default 8).
+	Clients int
+	// Duration is the arrival window (default 5s); residual in-flight
+	// requests complete after it and count.
+	Duration time.Duration
+	// Seed and Skew shape the zipf workload (defaults 1 and 1.2).
+	Seed int64
+	Skew float64
+	// Warm routes this many workload pairs through the service before
+	// the clock starts (default 0).
+	Warm int
+	// JSONLane switches the bulk codec from binary to JSON.
+	JSONLane bool
+	// Service configures the self-hosted server when TargetURL is
+	// empty.
+	Service ServiceConfig
+}
+
+func (c LoadtestConfig) withDefaults() LoadtestConfig {
+	if c.Rate <= 0 {
+		c.Rate = 200000
+	}
+	if c.Bulk <= 0 {
+		c.Bulk = 1024
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Skew <= 1 {
+		c.Skew = 1.2
+	}
+	return c
+}
+
+// LoadtestReport is the committed BENCH_serve.json shape.
+type LoadtestReport struct {
+	Generated   string  `json:"generated"`
+	Parallelism string  `json:"parallelism"`
+	GoMaxProcs  int     `json:"go_max_procs"`
+	NumCPU      int     `json:"num_cpu"`
+	Note        string  `json:"note"`
+	Net         string  `json:"net"`
+	K           int     `json:"k"`
+	Nodes       int64   `json:"nodes"`
+	Workload    string  `json:"workload"`
+	Lane        string  `json:"lane"`
+	Bulk        int     `json:"bulk"`
+	Conns       int     `json:"conns"`
+	OfferedRate float64 `json:"offered_routes_per_sec"`
+	Seconds     float64 `json:"seconds"`
+
+	Requests        int64   `json:"requests"`
+	RoutesCompleted int64   `json:"routes_completed"`
+	Rejected429     int64   `json:"rejected_429"`
+	Rejected503     int64   `json:"rejected_503"`
+	RoutesPerSec    float64 `json:"routes_per_sec"`
+	MeanRouteLen    float64 `json:"mean_route_len"`
+	MeanBatchPairs  float64 `json:"mean_batch_pairs"`
+
+	// Latency quantiles are power-of-two histogram bucket upper
+	// bounds, in nanoseconds (≤ 2× resolution).
+	ClientP50Ns    uint64 `json:"client_p50_ns"`
+	ClientP99Ns    uint64 `json:"client_p99_ns"`
+	ClientP999Ns   uint64 `json:"client_p999_ns"`
+	ServerP50Ns    uint64 `json:"server_p50_ns"`
+	ServerP99Ns    uint64 `json:"server_p99_ns"`
+	QueueWaitP50Ns uint64 `json:"queue_wait_p50_ns"`
+	QueueWaitP99Ns uint64 `json:"queue_wait_p99_ns"`
+}
+
+// String renders the headline numbers on a few lines.
+func (r *LoadtestReport) String() string {
+	return fmt.Sprintf(
+		"loadtest %s (%s lane, bulk=%d, conns=%d): offered %.0f routes/s for %.1fs\n"+
+			"  completed %d routes in %d requests (%.0f routes/s sustained, mean len %.2f, mean batch %.0f pairs)\n"+
+			"  rejected: %d × 429, %d × 503\n"+
+			"  client latency p50 ≤ %s  p99 ≤ %s  p99.9 ≤ %s\n"+
+			"  server request p50 ≤ %s  p99 ≤ %s; queue wait p50 ≤ %s  p99 ≤ %s",
+		r.Net, r.Lane, r.Bulk, r.Conns, r.OfferedRate, r.Seconds,
+		r.RoutesCompleted, r.Requests, r.RoutesPerSec, r.MeanRouteLen, r.MeanBatchPairs,
+		r.Rejected429, r.Rejected503,
+		nsString(r.ClientP50Ns), nsString(r.ClientP99Ns), nsString(r.ClientP999Ns),
+		nsString(r.ServerP50Ns), nsString(r.ServerP99Ns), nsString(r.QueueWaitP50Ns), nsString(r.QueueWaitP99Ns))
+}
+
+func nsString(ns uint64) string { return time.Duration(ns).String() }
+
+// Loadtest runs one open-loop measurement and returns its report.
+func Loadtest(cfg LoadtestConfig) (*LoadtestReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("serve: loadtest needs a network")
+	}
+	nw := cfg.Network
+	nodes := perm.Factorial(nw.K())
+
+	base := cfg.TargetURL
+	var svc *Service
+	if base == "" {
+		router := core.NewCachedRouter(nw, core.CacheConfig{})
+		svc = NewService(router, cfg.Service)
+		mux := http.NewServeMux()
+		svc.RegisterOn(mux)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer func() {
+			srv.Close()
+			svc.Drain()
+		}()
+		base = "http://" + ln.Addr().String()
+	}
+
+	// Arrival schedule and workload, fixed before the clock starts.
+	reqRate := cfg.Rate / float64(cfg.Bulk)
+	requests := int(reqRate*cfg.Duration.Seconds() + 0.5)
+	if requests < 1 {
+		requests = 1
+	}
+	rng := sim.ZipfWorkload(int(nodes), requests*cfg.Bulk, cfg.Seed, cfg.Skew)
+	due := sim.PoissonArrivals(requests, reqRate, cfg.Seed)
+
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Conns * 2,
+		MaxIdleConnsPerHost: cfg.Conns * 2,
+	}
+	client := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	if cfg.Warm > 0 {
+		if err := warmOverHTTP(client, base, rng, cfg.Warm, cfg.Bulk, cfg.JSONLane); err != nil {
+			return nil, fmt.Errorf("warm phase: %w", err)
+		}
+	}
+
+	before := obs.Default.Snapshot()
+	var (
+		next      atomic.Int64
+		completed atomic.Int64
+		totalHops atomic.Int64
+		rej429    atomic.Int64
+		rej503    atomic.Int64
+		firstErr  atomic.Value
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var body, resp []byte
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				if wait := time.Until(start.Add(due[i])); wait > 0 {
+					time.Sleep(wait)
+				}
+				srcs := rng.Srcs[i*cfg.Bulk : (i+1)*cfg.Bulk]
+				dsts := rng.Dsts[i*cfg.Bulk : (i+1)*cfg.Bulk]
+				var status int
+				var hops int64
+				var err error
+				body, resp, status, hops, err = issueBulk(client, base, worker%cfg.Clients, srcs, dsts, cfg.JSONLane, body, resp)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				switch status {
+				case http.StatusOK:
+					completed.Add(int64(cfg.Bulk))
+					totalHops.Add(hops)
+				case http.StatusTooManyRequests:
+					rej429.Add(1)
+				case http.StatusServiceUnavailable:
+					rej503.Add(1)
+				default:
+					firstErr.CompareAndSwap(nil, fmt.Errorf("request %d: unexpected status %d", i, status))
+					return
+				}
+				hClientNs.Observe(worker, uint64(time.Since(start.Add(due[i]))))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+	after := obs.Default.Snapshot()
+
+	rep := &LoadtestReport{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Parallelism: fmt.Sprintf("GOMAXPROCS=%d on %d logical CPUs", runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Note: "open-loop loadtest through POST /route/bulk: Poisson arrivals fixed before the run, " +
+			"zipf rank pairs, latency = scheduled arrival to response read; percentiles are pow2-histogram bucket upper bounds",
+		Net:         nw.Name(),
+		K:           nw.K(),
+		Nodes:       nodes,
+		Workload:    rng.Name,
+		Lane:        laneName(cfg.JSONLane),
+		Bulk:        cfg.Bulk,
+		Conns:       cfg.Conns,
+		OfferedRate: cfg.Rate,
+		Seconds:     elapsed.Seconds(),
+
+		Requests:        int64(requests),
+		RoutesCompleted: completed.Load(),
+		Rejected429:     rej429.Load(),
+		Rejected503:     rej503.Load(),
+	}
+	if rep.Seconds > 0 {
+		rep.RoutesPerSec = float64(rep.RoutesCompleted) / rep.Seconds
+	}
+	if rep.RoutesCompleted > 0 {
+		rep.MeanRouteLen = float64(totalHops.Load()) / float64(rep.RoutesCompleted)
+	}
+	client50, _ := histDelta(before, after, "scg_loadtest_client_ns").Quantile(0.50)
+	client99, _ := histDelta(before, after, "scg_loadtest_client_ns").Quantile(0.99)
+	client999, _ := histDelta(before, after, "scg_loadtest_client_ns").Quantile(0.999)
+	server50, _ := histDelta(before, after, "scg_serve_request_ns").Quantile(0.50)
+	server99, _ := histDelta(before, after, "scg_serve_request_ns").Quantile(0.99)
+	queue50, _ := histDelta(before, after, "scg_serve_queue_wait_ns").Quantile(0.50)
+	queue99, _ := histDelta(before, after, "scg_serve_queue_wait_ns").Quantile(0.99)
+	rep.ClientP50Ns, rep.ClientP99Ns, rep.ClientP999Ns = client50, client99, client999
+	rep.ServerP50Ns, rep.ServerP99Ns = server50, server99
+	rep.QueueWaitP50Ns, rep.QueueWaitP99Ns = queue50, queue99
+	if batches := histDelta(before, after, "scg_serve_batch_pairs"); batches.Count > 0 {
+		rep.MeanBatchPairs = float64(batches.Sum) / float64(batches.Count)
+	}
+	return rep, nil
+}
+
+func laneName(jsonLane bool) string {
+	if jsonLane {
+		return "json"
+	}
+	return "binary"
+}
+
+// histDelta subtracts the named histogram across two snapshots.
+func histDelta(before, after obs.Snapshot, name string) obs.HistSnap {
+	var prev, cur obs.HistSnap
+	for _, h := range before.Histograms {
+		if h.Name == name {
+			prev = h
+		}
+	}
+	for _, h := range after.Histograms {
+		if h.Name == name {
+			cur = h
+		}
+	}
+	return cur.Sub(prev)
+}
+
+// warmOverHTTP routes pairs pairs of the workload through the service
+// in bulk-sized requests, outside the measured window.
+func warmOverHTTP(client *http.Client, base string, wl sim.Workload, pairs, bulk int, jsonLane bool) error {
+	var body, resp []byte
+	for done := 0; done < pairs; done += bulk {
+		hi := done + bulk
+		if hi > wl.Pairs() {
+			hi = wl.Pairs()
+		}
+		if done >= hi {
+			break
+		}
+		srcs := wl.Srcs[done:hi]
+		dsts := wl.Dsts[done:hi]
+		var status int
+		var err error
+		body, resp, status, _, err = issueBulk(client, base, 0, srcs, dsts, jsonLane, body, resp)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("warm request got status %d", status)
+		}
+	}
+	return nil
+}
+
+// issueBulk sends one bulk request reusing the caller's body and
+// response buffers, and returns them (possibly regrown) along with
+// the status and, on 200, the summed route length.
+func issueBulk(client *http.Client, base string, clientID int, srcs, dsts []int32, jsonLane bool, body, resp []byte) (bodyOut, respOut []byte, status int, hops int64, err error) {
+	body = body[:0]
+	contentType := BulkContentType
+	if jsonLane {
+		contentType = "application/json"
+		body = append(body, `{"srcs":[`...)
+		for i, s := range srcs {
+			if i > 0 {
+				body = append(body, ',')
+			}
+			body = appendInt(body, int64(s))
+		}
+		body = append(body, `],"dsts":[`...)
+		for i, d := range dsts {
+			if i > 0 {
+				body = append(body, ',')
+			}
+			body = appendInt(body, int64(d))
+		}
+		body = append(body, `]}`...)
+	} else {
+		body = binary.LittleEndian.AppendUint32(body, bulkReqMagic)
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(srcs)))
+		for _, s := range srcs {
+			body = binary.LittleEndian.AppendUint64(body, uint64(int64(s)))
+		}
+		for _, d := range dsts {
+			body = binary.LittleEndian.AppendUint64(body, uint64(int64(d)))
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/route/bulk", bytes.NewReader(body))
+	if err != nil {
+		return body, resp, 0, 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("X-SCG-Client", "loadtest-"+string(rune('a'+clientID%26)))
+	res, err := client.Do(req)
+	if err != nil {
+		return body, resp, 0, 0, err
+	}
+	resp, err = readAllInto(resp[:0], res.Body)
+	res.Body.Close()
+	if err != nil {
+		return body, resp, 0, 0, err
+	}
+	if res.StatusCode != http.StatusOK {
+		return body, resp, res.StatusCode, 0, nil
+	}
+	if jsonLane {
+		// The JSON lane sums route lengths from the lens array; a full
+		// parse would dominate the client, so count ports instead via
+		// the binary lane when measuring throughput.
+		var parsed bulkResponse
+		if err := json.Unmarshal(resp, &parsed); err != nil {
+			return body, resp, 0, 0, fmt.Errorf("parsing bulk response: %w", err)
+		}
+		if parsed.Count != len(srcs) {
+			return body, resp, 0, 0, fmt.Errorf("bulk response count %d for %d pairs", parsed.Count, len(srcs))
+		}
+		for _, ln := range parsed.Lens {
+			hops += int64(ln)
+		}
+		return body, resp, res.StatusCode, hops, nil
+	}
+	if len(resp) < bulkHeaderLen {
+		return body, resp, 0, 0, fmt.Errorf("truncated bulk response (%d bytes)", len(resp))
+	}
+	if magic := binary.LittleEndian.Uint32(resp); magic != bulkRespMagic {
+		return body, resp, 0, 0, fmt.Errorf("bad response magic %#x", magic)
+	}
+	count := int(binary.LittleEndian.Uint32(resp[4:]))
+	if count != len(srcs) {
+		return body, resp, 0, 0, fmt.Errorf("bulk response count %d for %d pairs", count, len(srcs))
+	}
+	if len(resp) < bulkHeaderLen+4*count {
+		return body, resp, 0, 0, fmt.Errorf("truncated lens block (%d bytes for %d pairs)", len(resp), count)
+	}
+	var total int64
+	for i := 0; i < count; i++ {
+		total += int64(binary.LittleEndian.Uint32(resp[bulkHeaderLen+4*i:]))
+	}
+	if want := bulkHeaderLen + 4*count + int(total); len(resp) != want {
+		return body, resp, 0, 0, fmt.Errorf("bulk response is %d bytes, want %d", len(resp), want)
+	}
+	return body, resp, res.StatusCode, total, nil
+}
+
+func appendInt(b []byte, v int64) []byte { return strconv.AppendInt(b, v, 10) }

@@ -64,6 +64,24 @@ func ZipfWorkload(n, pairs int, seed int64, skew float64) Workload {
 	return wl
 }
 
+// PoissonArrivals returns the cumulative arrival offsets of a seeded
+// Poisson process at ratePerSec: n independent-exponential gaps, the
+// open-loop arrival schedule `scg loadtest` fixes before its run so
+// that a slow server cannot slow the offered load down.
+func PoissonArrivals(n int, ratePerSec float64, seed int64) []time.Duration {
+	if ratePerSec <= 0 {
+		panic("sim: PoissonArrivals needs a positive rate")
+	}
+	r := rand.New(rand.NewSource(seed))
+	due := make([]time.Duration, n)
+	t := 0.0
+	for i := range due {
+		t += r.ExpFloat64() / ratePerSec
+		due[i] = time.Duration(t * float64(time.Second))
+	}
+	return due
+}
+
 // AppendRouteFunc is the bulk-engine routing contract: append the port
 // route from src to dst onto buf and return the extended slice,
 // allocating only when buf runs out of capacity.  Port p is generator
