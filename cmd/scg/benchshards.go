@@ -1,0 +1,104 @@
+// The bench-shards subcommand lives outside main.go for the same
+// reason the other measurement commands do: it times wall-clock work,
+// which main.go's file-wide scg:deterministic directive bans.
+
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"supercayley/internal/shard"
+)
+
+func cmdBenchShards(args []string) error {
+	fs := flag.NewFlagSet("bench-shards", flag.ExitOnError)
+	counts := fs.String("counts", "1,2,4,8", "comma-separated shard counts for the k=8 sweep")
+	pairs := fs.Int("pairs", 200000, "workload pairs per timed pass")
+	rounds := fs.Int("rounds", 5, "timed passes per shard count; the best round is reported")
+	seed := fs.Int64("seed", 1, "workload seed")
+	skew := fs.Float64("skew", 1.2, "zipf exponent (> 1)")
+	budget := fs.Int64("budget", 8192, "per-shard banded-table residency budget in bytes for the sweep")
+	cacheStripes := fs.Int("cache-stripes", 1, "lock stripes per shard route cache in the sweep")
+	cacheEntries := fs.Int("cache-entries", 512, "route-cache entries per stripe in the sweep (the bounded per-shard warm capacity)")
+	k10Pairs := fs.Int("k10-pairs", 50000, "pairs for the k=10 serving measurement (negative skips it)")
+	k10Shards := fs.Int("k10-shards", 4, "shard count for the k=10 measurement")
+	k10Budget := fs.Int64("k10-budget", 1<<20, "per-shard residency budget in bytes at k=10")
+	storeDir := fs.String("store", "", "directory backing the warm-restart snapshot (default: in-memory store)")
+	out := fs.String("out", "", "write the JSON report here (default: stdout only)")
+	pf := addProfileFlags(fs)
+	fs.Parse(args)
+
+	var shardCounts []int
+	for _, field := range strings.Split(*counts, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil || n < 1 {
+			return fmt.Errorf("-counts: %q is not a positive shard count", field)
+		}
+		shardCounts = append(shardCounts, n)
+	}
+	if len(shardCounts) == 0 {
+		return fmt.Errorf("-counts lists no shard counts")
+	}
+
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	rep, err := shard.BenchShards(shard.BenchConfig{
+		ShardCounts:       shardCounts,
+		Pairs:             *pairs,
+		Rounds:            *rounds,
+		Seed:              *seed,
+		Skew:              *skew,
+		PerShardBudget:    *budget,
+		CacheShards:       *cacheStripes,
+		CacheEntries:      *cacheEntries,
+		K10Pairs:          *k10Pairs,
+		K10Shards:         *k10Shards,
+		K10PerShardBudget: *k10Budget,
+		StoreDir:          *storeDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("shard-count sweep on %s (%d pairs, %d-byte budget per shard):\n", rep.Net, *pairs, *budget)
+	for _, e := range rep.Entries {
+		fmt.Printf("  %2d shard(s): %12.0f pairs/s  (%.2fx vs 1, hit rate %.2f, %6d B resident, "+
+			"table/cache/kernel %d/%d/%d)\n",
+			e.Shards, e.PairsPerSec, e.SpeedupVsOneShard, e.CacheHitRate, e.TableResidentBytes,
+			e.TableServed, e.CacheServed, e.KernelServed)
+	}
+	if wr := rep.WarmRestart; wr != nil {
+		fmt.Printf("warm restart at %d shards (%s): save %.3fs, restore %.3fs, %d entries + %d table bytes back, "+
+			"first pass %.0f → %.0f pairs/s (%.2fx)\n",
+			wr.Shards, wr.Store, wr.SaveSeconds, wr.RestoreSeconds, wr.CacheEntries, wr.TableBytes,
+			wr.ColdFirstPassPerSec, wr.WarmFirstPassPerSec, wr.WarmupSpeedup)
+	}
+	if k10 := rep.K10; k10 != nil {
+		fmt.Printf("k=10 serving on %s (%d nodes, %d shards): %.0f pairs/s, max shard residency %d of %d budget bytes\n",
+			k10.Net, k10.Nodes, k10.Shards, k10.PairsPerSec, k10.MaxShardResidentB, k10.PerShardBudgetBytes)
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}

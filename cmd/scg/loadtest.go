@@ -30,7 +30,9 @@ func cmdLoadtest(args []string) error {
 	warm := fs.Int("warm", 200000, "pairs routed through the service before the clock starts")
 	jsonLane := fs.Bool("json", false, "drive the JSON bulk codec instead of the binary lane")
 	sf := addServeFlags(fs)
+	shf := addShardFlags(fs)
 	out := fs.String("out", "", "write the JSON report here (default: stdout only)")
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
 
 	f, err := core.ParseFamily(*family)
@@ -41,7 +43,16 @@ func cmdLoadtest(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := serve.Loadtest(serve.LoadtestConfig{
+	router, eng, err := shf.router(nw)
+	if err != nil {
+		return err
+	}
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	cfg := serve.LoadtestConfig{
 		Network:   nw,
 		TargetURL: *target,
 		Rate:      *rate,
@@ -54,9 +65,17 @@ func cmdLoadtest(args []string) error {
 		Warm:      *warm,
 		JSONLane:  *jsonLane,
 		Service:   sf.serviceConfig(),
-	})
+		Router:    router,
+	}
+	if eng != nil {
+		cfg.Shards = eng.Shards()
+	}
+	rep, err := serve.Loadtest(cfg)
 	if err != nil {
 		return err
+	}
+	if serr := shf.snapshot(eng); serr != nil {
+		return serr
 	}
 	fmt.Println(rep)
 	if *out != "" {

@@ -55,6 +55,8 @@ func main() {
 		err = cmdBenchTables(args)
 	case "bench-obs":
 		err = cmdBenchObs(args)
+	case "bench-shards":
+		err = cmdBenchShards(args)
 	case "serve":
 		err = cmdServe(args)
 	case "loadtest":
@@ -94,7 +96,8 @@ commands:
   bench-routes  measure pair-routing throughput (legacy vs cached engine), write BENCH_routes.json
   bench-tables  measure table vs cache vs greedy routing + table build costs, write BENCH_tables.json
   bench-obs measure telemetry overhead (obs disabled vs enabled), write BENCH_obs.json
-  serve     routing service + debug endpoint: /route, /route/bulk (batched, admission-controlled), /metrics, /metrics.json, /trace/routes, /debug/vars, /debug/pprof/*
+  bench-shards  measure shard-count scaling, k=10 serving, and warm-restart times, write BENCH_shards.json
+  serve     routing service + debug endpoint: /route, /route/bulk (batched, admission-controlled), /metrics, /metrics.json, /trace/routes, /debug/vars, /debug/pprof/*; -shards/-store for the sharded engine with warm-state snapshots
   loadtest  open-loop load driver for the routing service (Poisson arrivals, zipf pairs), write BENCH_serve.json
   stats     route a seeded workload, then dump the metrics registry once
   export    write the network as Graphviz DOT
@@ -432,6 +435,7 @@ func cmdBenchRoutes(args []string) error {
 	skew := fs.Float64("skew", 1.2, "zipf exponent (> 1)")
 	uniform := fs.Bool("uniform", false, "also measure a uniform workload")
 	out := fs.String("out", "", "write the JSON report here (default: stdout only)")
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
 
 	var nws []*core.Network
@@ -446,6 +450,11 @@ func cmdBenchRoutes(args []string) error {
 		}
 		nws = append(nws, nw)
 	}
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	rep, err := comm.BenchRoutes(comm.RouteBenchConfig{
 		Networks:    nws,
 		Pairs:       *pairs,
@@ -491,6 +500,7 @@ func cmdBenchTables(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	skew := fs.Float64("skew", 1.2, "zipf exponent (> 1)")
 	out := fs.String("out", "", "write the JSON report here (default: stdout only)")
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
 
 	var nws []*core.Network
@@ -513,6 +523,11 @@ func cmdBenchTables(args []string) error {
 		}
 		ks = append(ks, v)
 	}
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	rep, err := comm.BenchTables(comm.TableBenchConfig{
 		Networks: nws,
 		BuildKs:  ks,

@@ -8,6 +8,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"supercayley/internal/core"
 	"supercayley/internal/obs"
 	"supercayley/internal/serve"
+	"supercayley/internal/shard"
 	"supercayley/internal/sim"
 )
 
@@ -119,6 +121,79 @@ func (sf *serveFlags) serviceConfig() serve.ServiceConfig {
 	}
 }
 
+// shardFlags bundles the sharded-engine knobs shared by serve and
+// loadtest (AST-rostered like serveFlags).
+type shardFlags struct {
+	shards    *int
+	store     *string
+	residency *int64
+}
+
+func addShardFlags(fs *flag.FlagSet) *shardFlags {
+	return &shardFlags{
+		shards:    fs.Int("shards", 1, "shard workers partitioning the quotient rank space (rounded to a power of two; 1 = single-node router)"),
+		store:     fs.String("store", "", "warm-state snapshot directory: restored on start, drained back on shutdown"),
+		residency: fs.Int64("shard-residency", 0, "per-shard banded-table residency budget in bytes; > 0 also switches every shard to its own banded table (0 = unlimited, shared dense table at small k)"),
+	}
+}
+
+// router builds what the flags describe: (nil, nil) at the defaults —
+// the caller keeps its plain CachedRouter path — else a shard.Engine,
+// warm-restored from -store when a snapshot is there.
+func (shf *shardFlags) router(nw *core.Network) (core.Router, *shard.Engine, error) {
+	if *shf.shards <= 1 && *shf.store == "" && *shf.residency == 0 {
+		return nil, nil, nil
+	}
+	eng, err := shard.New(nw, shard.Config{
+		Shards:             *shf.shards,
+		ShardResidentBytes: *shf.residency,
+		// A budget only binds banded tables, so asking for one asks
+		// for the per-shard banded configuration.
+		ForceBanded: *shf.residency > 0,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if *shf.store != "" {
+		st, err := shard.NewFileStore(*shf.store)
+		if err != nil {
+			return nil, nil, err
+		}
+		t0 := time.Now()
+		rst, err := eng.RestoreFrom(st)
+		switch {
+		case errors.Is(err, shard.ErrNotFound):
+			fmt.Printf("scg: no warm state in %s, starting cold\n", st.Dir())
+		case err != nil:
+			return nil, nil, fmt.Errorf("restoring warm state from %s: %w", st.Dir(), err)
+		default:
+			fmt.Printf("scg: warm restart from %s in %s (%d cache entries, %d table bytes, %d shard tables)\n",
+				st.Dir(), time.Since(t0).Round(time.Millisecond), rst.CacheEntries, rst.TableBytes, rst.TablesLoaded)
+		}
+	}
+	return eng, eng, nil
+}
+
+// snapshot drains the engine's warm state back into -store; a no-op
+// without an engine or a store.
+func (shf *shardFlags) snapshot(eng *shard.Engine) error {
+	if eng == nil || *shf.store == "" {
+		return nil
+	}
+	st, err := shard.NewFileStore(*shf.store)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	saved, err := eng.SaveTo(st)
+	if err != nil {
+		return fmt.Errorf("draining warm state to %s: %w", st.Dir(), err)
+	}
+	fmt.Printf("scg: drained warm state to %s in %s (%d cache entries, %d table bytes, %d artifacts)\n",
+		st.Dir(), time.Since(t0).Round(time.Millisecond), saved.CacheEntries, saved.TableBytes, saved.Artifacts)
+	return nil
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8650", "listen address (use :0 for an ephemeral port)")
@@ -126,6 +201,7 @@ func cmdServe(args []string) error {
 	warm := fs.Int("warm", 0, "route this many seeded pairs on -family before serving (0 = none)")
 	nf := addNetFlags(fs)
 	sf := addServeFlags(fs)
+	shf := addShardFlags(fs)
 	seed := fs.Int64("seed", 1, "workload seed for -warm")
 	skew := fs.Float64("skew", 1.2, "zipf exponent for -warm (> 1)")
 	fs.Parse(args)
@@ -145,14 +221,26 @@ func cmdServe(args []string) error {
 		fmt.Printf("scg serve: warmed with %d pairs on %s (mean route len %.2f)\n",
 			res.Pairs, nw.Name(), res.MeanRouteLen)
 	}
-	svc := serve.NewService(core.NewCachedRouter(nw, core.CacheConfig{}), sf.serviceConfig())
+	router, eng, err := shf.router(nw)
+	if err != nil {
+		return err
+	}
+	if router == nil {
+		router = core.NewCachedRouter(nw, core.CacheConfig{})
+	}
+	svc := serve.NewService(router, sf.serviceConfig())
 	mux := newServeMux()
 	svc.RegisterOn(mux)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scg serve: routing %s, listening on http://%s\n", nw.Name(), ln.Addr())
+	if eng != nil {
+		fmt.Printf("scg serve: routing %s over %d shard(s), listening on http://%s\n",
+			nw.Name(), eng.Shards(), ln.Addr())
+	} else {
+		fmt.Printf("scg serve: routing %s, listening on http://%s\n", nw.Name(), ln.Addr())
+	}
 	fmt.Println("scg serve: endpoints: /route /route/bulk /metrics /metrics.json /trace/routes /debug/vars /debug/pprof/")
 
 	// Graceful drain: on SIGINT/SIGTERM stop accepting connections,
@@ -167,6 +255,9 @@ func cmdServe(args []string) error {
 	select {
 	case err := <-errc:
 		svc.Drain()
+		if serr := shf.snapshot(eng); serr != nil && err == nil {
+			err = serr
+		}
 		return err
 	case <-ctx.Done():
 		stop()
@@ -175,6 +266,11 @@ func cmdServe(args []string) error {
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
 		svc.Drain()
+		// The batch pipeline is quiet now, so the snapshot sees the
+		// final warm state.
+		if serr := shf.snapshot(eng); serr != nil && err == nil {
+			err = serr
+		}
 		fmt.Println("scg serve: drained")
 		return err
 	}
@@ -224,6 +320,7 @@ func cmdBenchObs(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	skew := fs.Float64("skew", 1.2, "zipf exponent (> 1)")
 	out := fs.String("out", "", "write the JSON report here (default: stdout only)")
+	pf := addProfileFlags(fs)
 	fs.Parse(args)
 	f, err := core.ParseFamily(*family)
 	if err != nil {
@@ -233,6 +330,11 @@ func cmdBenchObs(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := pf.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	rep, err := comm.BenchObs(comm.ObsBenchConfig{
 		Network: nw, Pairs: *pairs, Rounds: *rounds, Seed: *seed, Skew: *skew,
 	})

@@ -89,6 +89,43 @@ func TestServeFlagRoster(t *testing.T) {
 	}
 }
 
+// TestShardFlagRoster pins the sharded-engine knobs addShardFlags
+// exposes (shared by serve and loadtest) with the same exact-roster
+// discipline.
+func TestShardFlagRoster(t *testing.T) {
+	flags := flagRegistrations(t, "serve.go", "addShardFlags")
+	want := []string{"shards", "store", "shard-residency"}
+	for _, name := range want {
+		usage, ok := flags[name]
+		if !ok {
+			t.Errorf("addShardFlags no longer registers -%s", name)
+		} else if usage == "" {
+			t.Errorf("-%s has an empty usage string", name)
+		}
+	}
+	if len(flags) != len(want) {
+		t.Errorf("addShardFlags registers %d flags, roster lists %d — update the roster test", len(flags), len(want))
+	}
+}
+
+// TestProfileFlagRoster pins the -cpuprofile/-memprofile pair every
+// measurement subcommand shares.
+func TestProfileFlagRoster(t *testing.T) {
+	flags := flagRegistrations(t, "profile.go", "addProfileFlags")
+	want := []string{"cpuprofile", "memprofile"}
+	for _, name := range want {
+		usage, ok := flags[name]
+		if !ok {
+			t.Errorf("addProfileFlags no longer registers -%s", name)
+		} else if usage == "" {
+			t.Errorf("-%s has an empty usage string", name)
+		}
+	}
+	if len(flags) != len(want) {
+		t.Errorf("addProfileFlags registers %d flags, roster lists %d — update the roster test", len(flags), len(want))
+	}
+}
+
 // TestLoadtestFlagRoster pins the loadtest driver's own knobs the
 // same way.
 func TestLoadtestFlagRoster(t *testing.T) {

@@ -10,9 +10,9 @@ package comm
 
 import (
 	"fmt"
-	"runtime"
 	"time"
 
+	"supercayley/internal/benchenv"
 	"supercayley/internal/core"
 	"supercayley/internal/gens"
 	"supercayley/internal/sim"
@@ -85,21 +85,13 @@ type RouteBenchEntry struct {
 // RouteBenchReport is the BENCH_routes.json document.
 type RouteBenchReport struct {
 	Generated string `json:"generated"`
-	// Parallelism states the host parallelism the numbers were taken
-	// under, up front: throughput scales with cores, so a single-core
-	// figure and an N-core figure are not comparable.
-	Parallelism string            `json:"parallelism"`
-	GoMaxProcs  int               `json:"go_max_procs"`
-	NumCPU      int               `json:"num_cpu"`
-	Note        string            `json:"note"`
-	Entries     []RouteBenchEntry `json:"entries"`
-}
-
-// hostParallelism renders the provenance line every bench report
-// carries: the worker fan-out all sim/core drivers use (GOMAXPROCS)
-// and the host's logical CPU count.
-func hostParallelism() string {
-	return fmt.Sprintf("GOMAXPROCS=%d on %d logical CPUs", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	// Provenance states the runtime regime the numbers were taken
+	// under, up front: throughput scales with cores and shifts with the
+	// collector's settings, so figures from different regimes are not
+	// comparable.
+	benchenv.Provenance
+	Note    string            `json:"note"`
+	Entries []RouteBenchEntry `json:"entries"`
 }
 
 // BenchRoutes runs the routing-throughput protocol.  Engines:
@@ -118,10 +110,8 @@ func BenchRoutes(cfg RouteBenchConfig) (*RouteBenchReport, error) {
 		return nil, err
 	}
 	rep := &RouteBenchReport{
-		Generated:   time.Now().UTC().Format(time.RFC3339),
-		Parallelism: hostParallelism(),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Provenance: benchenv.Capture(1),
 		Note: "pair-routing throughput; legacy_route = per-call star-expansion routing, engine_* = " +
 			"zero-alloc kernel behind the symmetry-normalized sharded route cache (warm = second pass " +
 			"over the same workload), route_many_warm = batched RouteMany; all routes delivery-verified",

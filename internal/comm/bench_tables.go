@@ -13,10 +13,10 @@ package comm
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
+	"supercayley/internal/benchenv"
 	"supercayley/internal/core"
 	"supercayley/internal/gens"
 	"supercayley/internal/perm"
@@ -102,13 +102,11 @@ type TableBuildEntry struct {
 
 // TableBenchReport is the BENCH_tables.json document.
 type TableBenchReport struct {
-	Generated   string            `json:"generated"`
-	Parallelism string            `json:"parallelism"`
-	GoMaxProcs  int               `json:"go_max_procs"`
-	NumCPU      int               `json:"num_cpu"`
-	Note        string            `json:"note"`
-	Entries     []TableBenchEntry `json:"entries"`
-	Builds      []TableBuildEntry `json:"builds"`
+	Generated string `json:"generated"`
+	benchenv.Provenance
+	Note    string            `json:"note"`
+	Entries []TableBenchEntry `json:"entries"`
+	Builds  []TableBuildEntry `json:"builds"`
 }
 
 // kernelScratch is the pooled state of the cache-less greedy baseline.
@@ -158,10 +156,8 @@ func BenchTables(cfg TableBenchConfig) (*TableBenchReport, error) {
 		return nil, err
 	}
 	rep := &TableBenchReport{
-		Generated:   time.Now().UTC().Format(time.RFC3339),
-		Parallelism: hostParallelism(),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Provenance: benchenv.Capture(1),
 		Note: "routing-only throughput (delivery verified untimed via sim SkipReplay) for greedy kernel, " +
 			"symmetry-normalized LRU (cold/warm) and precomputed dense next-dimension tables; " +
 			"builds[] records dense table cold-start seconds and resident bytes per k",

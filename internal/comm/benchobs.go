@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"supercayley/internal/benchenv"
 	"supercayley/internal/core"
 	"supercayley/internal/obs"
 	"supercayley/internal/sim"
@@ -65,10 +66,8 @@ type ObsBenchRound struct {
 
 // ObsBenchReport is the BENCH_obs.json document.
 type ObsBenchReport struct {
-	Generated           string          `json:"generated"`
-	Parallelism         string          `json:"parallelism"`
-	GoMaxProcs          int             `json:"go_max_procs"`
-	NumCPU              int             `json:"num_cpu"`
+	Generated string `json:"generated"`
+	benchenv.Provenance
 	Note                string          `json:"note"`
 	Net                 string          `json:"net"`
 	K                   int             `json:"k"`
@@ -109,10 +108,8 @@ func BenchObs(cfg ObsBenchConfig) (*ObsBenchReport, error) {
 	}
 
 	rep := &ObsBenchReport{
-		Generated:   time.Now().UTC().Format(time.RFC3339),
-		Parallelism: hostParallelism(),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Provenance: benchenv.Capture(1),
 		Note: "warm-cache pair routing timed with telemetry disabled vs enabled in alternating " +
 			"rounds; best round per side; overhead_pct = (1 - enabled/disabled) * 100, budget < 2%",
 		Net:      cfg.Network.Name(),

@@ -94,6 +94,15 @@ type RouteCache struct {
 	exact  bool // keys are exact Lehmer ranks; skip quotient verification
 }
 
+// NewRouteCache builds a standalone cache; exact reports whether keys
+// are collision-free (Lehmer ranks), in which case the quotient
+// argument of Get/Put is never consulted and may be nil.  CachedRouter
+// builds its own internally; the sharded engine (internal/shard) owns
+// one per shard worker directly.
+func NewRouteCache(cfg CacheConfig, exact bool) *RouteCache {
+	return newRouteCache(cfg, exact)
+}
+
 // newRouteCache builds a cache; exact reports whether keys are
 // collision-free (Lehmer ranks).
 func newRouteCache(cfg CacheConfig, exact bool) *RouteCache {
@@ -130,6 +139,20 @@ func splitmix64(x uint64) uint64 {
 
 func (c *RouteCache) shardOf(key uint64) *routeShard {
 	return &c.shards[splitmix64(key)&c.mask]
+}
+
+// Get appends the cached route for (key, w) onto dst and reports
+// whether it was present.  w is only consulted for hashed keys (exact
+// caches may pass nil).
+func (c *RouteCache) Get(dst []gens.GenIndex, key uint64, w perm.Perm) ([]gens.GenIndex, bool) {
+	return c.get(dst, key, w)
+}
+
+// Put stores the route for (key, w), evicting the least recently used
+// entry if the shard is full.  steps is copied; w is copied only for
+// hashed keys (exact caches may pass nil).
+func (c *RouteCache) Put(key uint64, w perm.Perm, steps []gens.GenIndex) {
+	c.put(key, w, steps)
 }
 
 // get appends the cached route for (key, w) onto dst and reports
@@ -217,6 +240,24 @@ func (sh *routeShard) moveToFront(e *routeEntry) {
 	}
 	sh.unlink(e)
 	sh.pushFront(e)
+}
+
+// Range calls fn for every cached entry, shard by shard, most recently
+// used first within a shard — the order a warm-state serializer wants,
+// so that reloading under a smaller capacity keeps the hottest routes.
+// fn runs under the entry's shard mutex: it must not call back into
+// the cache, and must not retain steps (serialize or copy it).  Only
+// exact (rank-keyed) caches can be meaningfully rehydrated, which is
+// the sharded engine's regime (k ≤ RankKeyMaxK).
+func (c *RouteCache) Range(fn func(key uint64, steps []gens.GenIndex)) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for e := sh.head; e != nil; e = e.next {
+			fn(e.key, e.steps)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // Stats sums the per-shard counters and records the shard-population

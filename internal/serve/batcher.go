@@ -130,10 +130,11 @@ func (j *Job) Route(i int) []gens.GenIndex {
 	return j.steps[lo : lo+int(j.lens[i])]
 }
 
-// Batcher is the channel-fed batching pipeline in front of a
-// CachedRouter.
+// Batcher is the channel-fed batching pipeline in front of a routing
+// engine (core.Router: the single-node CachedRouter or the sharded
+// Engine — the pipeline is agnostic).
 type Batcher struct {
-	router *core.CachedRouter
+	router core.Router
 	cfg    Config
 	n      int64 // rank-space size k!
 
@@ -151,7 +152,7 @@ type Batcher struct {
 
 // NewBatcher starts a batching pipeline over router with cfg
 // (zero-value fields take defaults).  Close drains and stops it.
-func NewBatcher(router *core.CachedRouter, cfg Config) *Batcher {
+func NewBatcher(router core.Router, cfg Config) *Batcher {
 	cfg = cfg.withDefaults()
 	b := &Batcher{
 		router: router,
@@ -169,7 +170,7 @@ func NewBatcher(router *core.CachedRouter, cfg Config) *Batcher {
 }
 
 // Router returns the routing engine the batcher flushes into.
-func (b *Batcher) Router() *core.CachedRouter { return b.router }
+func (b *Batcher) Router() core.Router { return b.router }
 
 // N returns the rank-space size (k!) submissions are validated
 // against.

@@ -21,12 +21,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"runtime"
+
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"supercayley/internal/benchenv"
 	"supercayley/internal/core"
 	"supercayley/internal/obs"
 	"supercayley/internal/perm"
@@ -67,6 +68,14 @@ type LoadtestConfig struct {
 	// Service configures the self-hosted server when TargetURL is
 	// empty.
 	Service ServiceConfig
+	// Router, when non-nil, is the engine the self-hosted server serves
+	// from (the sharded shard.Engine or a pre-warmed CachedRouter)
+	// instead of a fresh single-node CachedRouter.  Ignored with
+	// TargetURL.
+	Router core.Router
+	// Shards is the shard-worker count recorded in the report's
+	// provenance; 0 means unsharded (recorded as 1).
+	Shards int
 }
 
 func (c LoadtestConfig) withDefaults() LoadtestConfig {
@@ -96,10 +105,8 @@ func (c LoadtestConfig) withDefaults() LoadtestConfig {
 
 // LoadtestReport is the committed BENCH_serve.json shape.
 type LoadtestReport struct {
-	Generated   string  `json:"generated"`
-	Parallelism string  `json:"parallelism"`
-	GoMaxProcs  int     `json:"go_max_procs"`
-	NumCPU      int     `json:"num_cpu"`
+	Generated string `json:"generated"`
+	benchenv.Provenance
 	Note        string  `json:"note"`
 	Net         string  `json:"net"`
 	K           int     `json:"k"`
@@ -159,7 +166,10 @@ func Loadtest(cfg LoadtestConfig) (*LoadtestReport, error) {
 	base := cfg.TargetURL
 	var svc *Service
 	if base == "" {
-		router := core.NewCachedRouter(nw, core.CacheConfig{})
+		router := cfg.Router
+		if router == nil {
+			router = core.NewCachedRouter(nw, core.CacheConfig{})
+		}
 		svc = NewService(router, cfg.Service)
 		mux := http.NewServeMux()
 		svc.RegisterOn(mux)
@@ -256,10 +266,8 @@ func Loadtest(cfg LoadtestConfig) (*LoadtestReport, error) {
 	after := obs.Default.Snapshot()
 
 	rep := &LoadtestReport{
-		Generated:   time.Now().UTC().Format(time.RFC3339),
-		Parallelism: fmt.Sprintf("GOMAXPROCS=%d on %d logical CPUs", runtime.GOMAXPROCS(0), runtime.NumCPU()),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Provenance: benchenv.Capture(cfg.Shards),
 		Note: "open-loop loadtest through POST /route/bulk: Poisson arrivals fixed before the run, " +
 			"zipf rank pairs, latency = scheduled arrival to response read; percentiles are pow2-histogram bucket upper bounds",
 		Net:         nw.Name(),

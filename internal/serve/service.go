@@ -63,7 +63,7 @@ type Service struct {
 }
 
 // NewService starts a service over router; Drain stops it.
-func NewService(router *core.CachedRouter, cfg ServiceConfig) *Service {
+func NewService(router core.Router, cfg ServiceConfig) *Service {
 	s := &Service{
 		b:   NewBatcher(router, cfg.Batch),
 		lim: NewLimiter(cfg.Limit),

@@ -1,0 +1,68 @@
+//go:build !race
+
+// The allocation-regression guard lives behind the !race tag for the
+// same reason core's and serve's do: under the race detector sync.Pool
+// deliberately drops items and allocation counts are inflated by
+// instrumentation.
+
+package shard
+
+import (
+	"testing"
+
+	"supercayley/internal/core"
+	"supercayley/internal/gens"
+)
+
+// TestDispatchWarmAllocFree pins the zero-alloc steady state of the
+// shard dispatch path across every serving tier: unrank + normalize +
+// rank + splitmix64 worker pick, then the shared dense table, a
+// per-shard banded table, or — with a starved budget — the per-shard
+// cache.  A warm dispatch into a caller-owned buffer must not allocate
+// at all.
+func TestDispatchWarmAllocFree(t *testing.T) {
+	cases := []struct {
+		name string
+		nw   *core.Network
+		cfg  Config
+	}{
+		// Shared dense fast-lane table serves everything.
+		{"dense", core.MustNew(core.MS, 7, 1), Config{Shards: 4}},
+		// Per-shard banded tables, unlimited budget: table digits walk.
+		{"banded", core.MustNew(core.MS, 5, 1), Config{Shards: 2, ForceBanded: true}},
+		// Budget so starved every fault is refused: cache hits only.
+		{"cache", core.MustNew(core.MS, 5, 1), Config{Shards: 2, ForceBanded: true, ShardResidentBytes: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := New(tc.nw, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tc.nw.N()
+			pairs := [][2]int64{{0, 1}, {n / 3, n - 1}, {n / 2, n / 7}, {n - 1, 0}}
+			buf := make([]gens.GenIndex, 0, 256)
+			// Warm every tier: scratch pool, bands, cache entries.
+			for r := 0; r < 8; r++ {
+				for _, p := range pairs {
+					buf, err = e.AppendRouteRanks(buf[:0], p[0], p[1])
+					if err != nil {
+						t.Fatalf("warm route %d→%d: %v", p[0], p[1], err)
+					}
+				}
+			}
+			i := 0
+			if avg := testing.AllocsPerRun(400, func() {
+				p := pairs[i&3]
+				i++
+				var err error
+				buf, err = e.AppendRouteRanks(buf[:0], p[0], p[1])
+				if err != nil {
+					t.Fatalf("route %d→%d: %v", p[0], p[1], err)
+				}
+			}); avg != 0 {
+				t.Fatalf("warm dispatch allocates %.2f objects per route, want 0", avg)
+			}
+		})
+	}
+}

@@ -1,0 +1,49 @@
+package shard
+
+import "testing"
+
+// TestBenchShardsSmoke runs the BENCH_shards.json protocol at toy
+// size: the sweep must produce one verified entry per shard count
+// under budget, and the warm-restart round trip must rehydrate a
+// non-empty cache.  Throughput ordering is NOT asserted — a loaded CI
+// host makes wall-clock comparisons flaky — the committed snapshot
+// carries the curve.
+func TestBenchShardsSmoke(t *testing.T) {
+	rep, err := BenchShards(BenchConfig{
+		ShardCounts: []int{1, 2},
+		Pairs:       2000,
+		K10Pairs:    -1, // the 3.6M-node build is bench-only, not test budget
+		StoreDir:    t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 2 {
+		t.Fatalf("swept %d entries, want 2", len(rep.Entries))
+	}
+	for _, e := range rep.Entries {
+		if e.TableResidentBytes > int64(e.Shards)*e.PerShardBudgetBytes {
+			t.Errorf("%d shards: resident %d over aggregate budget %d",
+				e.Shards, e.TableResidentBytes, int64(e.Shards)*e.PerShardBudgetBytes)
+		}
+		if e.TableServed+e.CacheServed+e.KernelServed == 0 {
+			t.Errorf("%d shards: no serving-ladder counters moved", e.Shards)
+		}
+	}
+	wr := rep.WarmRestart
+	if wr == nil {
+		t.Fatal("no warm-restart entry")
+	}
+	if wr.Shards != 2 {
+		t.Errorf("warm restart ran at %d shards, want the largest swept (2)", wr.Shards)
+	}
+	if wr.CacheEntries == 0 {
+		t.Error("warm restart rehydrated no cache entries")
+	}
+	if wr.RestoreSeconds <= 0 {
+		t.Error("warm restart reported no measured restore time")
+	}
+	if rep.Shards != 2 {
+		t.Errorf("provenance shards = %d, want max swept 2", rep.Shards)
+	}
+}

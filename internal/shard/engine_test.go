@@ -1,0 +1,226 @@
+package shard
+
+// The sharded-vs-unsharded differential: an Engine must emit routes
+// port-identical to core.CachedRouter for every family and every
+// residency configuration — shard count, cache geometry, banded
+// tables, and starved residency budgets change where a route is
+// served from, never its bytes.
+
+import (
+	"math/rand"
+	"testing"
+
+	"supercayley/internal/core"
+	"supercayley/internal/gens"
+	"supercayley/internal/perm"
+)
+
+// tenNetworks instantiates one small network per family (k = 5,
+// N = 120), the same roster the serve and tables differentials use.
+func tenNetworks(t *testing.T) []*core.Network {
+	t.Helper()
+	nws := make([]*core.Network, 0, len(core.Families))
+	for _, f := range core.Families {
+		if f == core.IS {
+			nw, err := core.NewIS(5)
+			if err != nil {
+				t.Fatalf("NewIS(5): %v", err)
+			}
+			nws = append(nws, nw)
+			continue
+		}
+		nw, err := core.New(f, 2, 2)
+		if err != nil {
+			t.Fatalf("New(%s, 2, 2): %v", f, err)
+		}
+		nws = append(nws, nw)
+	}
+	return nws
+}
+
+func portsEqual(a, b []gens.GenIndex) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// engineConfigs is the residency matrix the differential sweeps: the
+// degenerate single shard, a fanned-out dense engine, tiny per-shard
+// caches (eviction pressure), per-shard banded tables, and a budget so
+// starved every band fault is refused (pure cache/kernel serving).
+func engineConfigs() []Config {
+	return []Config{
+		{Shards: 1},
+		{Shards: 4},
+		{Shards: 4, CacheShards: 1, CacheEntries: 8},
+		{Shards: 2, ForceBanded: true},
+		{Shards: 2, ForceBanded: true, ShardResidentBytes: 1},
+	}
+}
+
+// TestEngineDifferentialTenFamilies pins route-byte identity between
+// every engine configuration and the unsharded reference across all
+// ten families, pair by pair and through the bulk paths.
+func TestEngineDifferentialTenFamilies(t *testing.T) {
+	for _, nw := range tenNetworks(t) {
+		ref := core.NewCachedRouter(nw, core.CacheConfig{})
+		n := perm.Factorial(nw.K())
+		for ci, cfg := range engineConfigs() {
+			e, err := New(nw, cfg)
+			if err != nil {
+				t.Fatalf("%s cfg %d: New: %v", nw.Name(), ci, err)
+			}
+			r := rand.New(rand.NewSource(int64(100 + ci)))
+			srcs, dsts := make([]int64, 64), make([]int64, 64)
+			for i := range srcs {
+				srcs[i], dsts[i] = r.Int63n(n), r.Int63n(n)
+			}
+			// Pair-by-pair, twice, so the second lap serves from warm
+			// state — bytes must not change with the serving tier.
+			for lap := 0; lap < 2; lap++ {
+				for i := range srcs {
+					got, err := e.AppendRouteRanks(nil, srcs[i], dsts[i])
+					if err != nil {
+						t.Fatalf("%s cfg %d: engine route %d→%d: %v", nw.Name(), ci, srcs[i], dsts[i], err)
+					}
+					want, err := ref.AppendRouteRanks(nil, srcs[i], dsts[i])
+					if err != nil {
+						t.Fatalf("%s: reference route: %v", nw.Name(), err)
+					}
+					if !portsEqual(got, want) {
+						t.Fatalf("%s cfg %d lap %d: %d→%d routed %v, reference %v",
+							nw.Name(), ci, lap, srcs[i], dsts[i], got, want)
+					}
+				}
+			}
+			// Bulk paths agree with the pairwise path.
+			bulk, err := e.RouteMany(srcs, dsts)
+			if err != nil {
+				t.Fatalf("%s cfg %d: RouteMany: %v", nw.Name(), ci, err)
+			}
+			var into core.BulkRoutes
+			if err := e.RouteManyInto(&into, srcs, dsts); err != nil {
+				t.Fatalf("%s cfg %d: RouteManyInto: %v", nw.Name(), ci, err)
+			}
+			for i := range srcs {
+				want, _ := ref.AppendRouteRanks(nil, srcs[i], dsts[i])
+				if !portsEqual(bulk.Route(i), want) {
+					t.Fatalf("%s cfg %d: RouteMany pair %d differs from reference", nw.Name(), ci, i)
+				}
+				if !portsEqual(into.Route(i), want) {
+					t.Fatalf("%s cfg %d: RouteManyInto pair %d differs from reference", nw.Name(), ci, i)
+				}
+			}
+			if s := e.Stats(); s.Hits+s.Misses == 0 && cfg.ShardResidentBytes != 0 {
+				t.Fatalf("%s cfg %d: budget-starved engine never consulted its caches", nw.Name(), ci)
+			}
+		}
+	}
+}
+
+// TestEngineDispatchSpreads asserts that traffic actually lands on
+// every shard worker — the splitmix64 band scatter is the load-balance
+// mechanism, so a dead worker means a dispatch bug.
+func TestEngineDispatchSpreads(t *testing.T) {
+	nw := core.MustNew(core.MS, 7, 1) // k = 8
+	e, err := New(nw, Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := perm.Factorial(nw.K())
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 4096; i++ {
+		if _, err := e.AppendRouteRanks(nil, r.Int63n(n), r.Int63n(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total uint64
+	for _, ws := range e.WorkerStats() {
+		if ws.Routes == 0 {
+			t.Fatalf("shard %d served no routes across 4096 dispatches", ws.ID)
+		}
+		total += ws.Routes
+	}
+	if total != 4096 {
+		t.Fatalf("workers counted %d routes, dispatched 4096", total)
+	}
+}
+
+// TestEngineK10BoundedMemory is the headline acceptance path: route
+// k = 10 (3.6M quotients) end-to-end through per-shard banded tables
+// under a per-shard residency budget, verify delivery by replaying
+// every route from its source, and check the aggregate table residency
+// respects the budget.
+func TestEngineK10BoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=10 engine in -short mode")
+	}
+	nw := core.MustNew(core.MS, 9, 1) // k = 10
+	const perShard = int64(64 << 10)
+	e, err := New(nw, Config{Shards: 4, ShardResidentBytes: perShard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := perm.Factorial(nw.K())
+	r := rand.New(rand.NewSource(10))
+	k := nw.K()
+	u := make(perm.Perm, k)
+	v := make(perm.Perm, k)
+	got := make(perm.Perm, k)
+	tmp := make(perm.Perm, k)
+	var buf []gens.GenIndex
+	for i := 0; i < 500; i++ {
+		src, dst := r.Int63n(n), r.Int63n(n)
+		buf, err = e.AppendRouteRanks(buf[:0], src, dst)
+		if err != nil {
+			t.Fatalf("route %d→%d: %v", src, dst, err)
+		}
+		perm.UnrankInto(u, src)
+		perm.UnrankInto(v, dst)
+		nw.ReplayInto(got, tmp, u, buf)
+		if !got.Equal(v) {
+			t.Fatalf("route %d→%d delivered to %v, want %v", src, dst, got, v)
+		}
+	}
+	// Bounded residency: per-shard tables stay within budget plus the
+	// documented racing-faulter overshoot (single-goroutine here, so
+	// exactly within).
+	for _, ws := range e.WorkerStats() {
+		if ws.Table.Bytes > perShard {
+			t.Fatalf("shard %d resident %d bytes over budget %d", ws.ID, ws.Table.Bytes, perShard)
+		}
+	}
+	if total := e.TableBytes(); total > int64(e.Shards())*perShard {
+		t.Fatalf("aggregate residency %d over %d shards × %d budget", total, e.Shards(), perShard)
+	}
+}
+
+// TestEngineRejects pins the construction and range edges.
+func TestEngineRejects(t *testing.T) {
+	nw := core.MustNew(core.MS, 2, 2)    // k = 5
+	e, err := New(nw, Config{Shards: 3}) // rounds up to 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Shards() != 4 {
+		t.Fatalf("Shards() = %d after rounding, want 4", e.Shards())
+	}
+	if _, err := e.AppendRouteRanks(nil, -1, 0); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+	if _, err := e.AppendRouteRanks(nil, 0, perm.Factorial(5)); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if err := e.RouteManyInto(&core.BulkRoutes{}, []int64{1}, []int64{1, 2}); err == nil {
+		t.Fatal("mismatched bulk slices accepted")
+	}
+	if _, err := New(core.MustNew(core.MS, 12, 1), Config{}); err == nil {
+		t.Fatal("k=13 engine accepted past the exact-rank cap")
+	}
+}

@@ -1,0 +1,290 @@
+// Warm-state persistence: what an engine saves into a Store on drain
+// and faults back in on restore.
+//
+// Three artifact kinds, all little-endian and checksummed:
+//
+//	manifest     JSON engine geometry (network, k, shards, residency
+//	             kind), validated on restore so a snapshot never warms
+//	             a differently-shaped engine.
+//	table-NNN    the shard's banded-table bands, in the tables
+//	             snapshot format ("SCGT", snapshot.go) — band bitmap +
+//	             built bands, budget re-applied after load.
+//	cache-NNN    the shard's warm route cache ("SCGC"): pair-keyed
+//	             entries serialized MRU-first per cache stripe, loaded
+//	             in reverse so the hottest routes end up at the front
+//	             of the reloaded LRU and survive a smaller capacity.
+//
+// Dense engines persist only caches: the shared dense table is derived
+// state that New rebuilds deterministically, and at fast-lane k the
+// build is cheap.  Banded engines persist tables too — that is the
+// warm-restart payoff, since their bands otherwise refill one kernel
+// fault at a time.
+
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"supercayley/internal/core"
+	"supercayley/internal/gens"
+	"supercayley/internal/tables"
+)
+
+const (
+	cacheMagic = "SCGC"
+	// cacheVersion 2: keys are pair keys (src·N + dstRank), not
+	// quotient ranks.  Version-1 snapshots would be *mis-served*, not
+	// just cold — a quotient rank reads as the pair (0, rank) — so
+	// both the manifest and the artifact header reject them.
+	cacheVersion = 2
+	// maxCacheEntries bounds a cache artifact to something a serving
+	// process would plausibly hold (64 Mi routes); beyond it the
+	// artifact is rejected as corrupt before any allocation.
+	maxCacheEntries = 1 << 26
+	// maxRouteSteps bounds one serialized route; the star diameter at
+	// BandedMaxK is 16 and dimension expansions are short, so 64 Ki is
+	// generous by orders of magnitude.
+	maxRouteSteps = 1 << 16
+)
+
+// manifest pins the engine geometry a snapshot was drained from.
+type manifest struct {
+	Network  string `json:"network"`
+	K        int    `json:"k"`
+	Shards   int    `json:"shards"`
+	BandBits uint   `json:"band_bits"`
+	Banded   bool   `json:"banded"`
+	Version  int    `json:"version"`
+}
+
+func (e *Engine) manifest() manifest {
+	return manifest{
+		Network:  e.nw.Name(),
+		K:        e.nw.K(),
+		Shards:   len(e.workers),
+		BandBits: e.bandBits,
+		Banded:   e.dense == nil,
+		Version:  cacheVersion,
+	}
+}
+
+func tableArtifact(id int) string { return fmt.Sprintf("table-%03d", id) }
+func cacheArtifact(id int) string { return fmt.Sprintf("cache-%03d", id) }
+
+// SaveStats reports what a drain wrote.
+type SaveStats struct {
+	CacheEntries int   // route-cache entries serialized across shards
+	TableBytes   int64 // banded-table dims bytes serialized
+	Artifacts    int   // Store artifacts written, manifest included
+}
+
+// SaveTo drains the engine's warm state into store: the manifest,
+// every shard's cache, and (banded engines) every shard's table
+// bands.  It is safe to call while routing continues — tables publish
+// bands immutably and the cache serializer holds one stripe lock at a
+// time — but entries added mid-drain may be missed, so the serve layer
+// calls it after its own drain barrier.
+func (e *Engine) SaveTo(store Store) (SaveStats, error) {
+	var st SaveStats
+	m := e.manifest()
+	if err := store.Save("manifest", func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(m)
+	}); err != nil {
+		return st, fmt.Errorf("shard: save manifest: %w", err)
+	}
+	st.Artifacts++
+	for _, wk := range e.workers {
+		if wk.table != nil {
+			if err := store.Save(tableArtifact(wk.id), wk.table.Save); err != nil {
+				return st, fmt.Errorf("shard: save shard %d table: %w", wk.id, err)
+			}
+			st.TableBytes += wk.table.Bytes()
+			st.Artifacts++
+		}
+		n, err := saveCache(store, cacheArtifact(wk.id), e.nw.K(), wk.cache)
+		if err != nil {
+			return st, fmt.Errorf("shard: save shard %d cache: %w", wk.id, err)
+		}
+		st.CacheEntries += n
+		st.Artifacts++
+	}
+	mSaves.Inc()
+	mSavedEntries.Add(uint64(st.CacheEntries))
+	return st, nil
+}
+
+// RestoreStats reports what a warm restore faulted back in.
+type RestoreStats struct {
+	CacheEntries int   // route-cache entries rehydrated across shards
+	TableBytes   int64 // banded-table dims bytes rehydrated
+	TablesLoaded int   // shard tables found in the store
+}
+
+// RestoreFrom faults a SaveTo snapshot back into a freshly built
+// engine of the same geometry.  Missing artifacts are tolerated
+// (those shards start cold); a manifest that disagrees with the
+// engine's geometry is an error, and a store with no manifest at all
+// returns ErrNotFound so cold starts read naturally.  RestoreFrom is
+// a setup call: it must complete before routing starts.
+func (e *Engine) RestoreFrom(store Store) (RestoreStats, error) {
+	var st RestoreStats
+	var m manifest
+	if err := store.Load("manifest", func(r io.Reader) error {
+		return json.NewDecoder(r).Decode(&m)
+	}); err != nil {
+		return st, err
+	}
+	want := e.manifest()
+	if m != want {
+		return st, fmt.Errorf("shard: snapshot geometry %+v, engine wants %+v", m, want)
+	}
+	for _, wk := range e.workers {
+		if wk.table != nil {
+			budget := wk.table.Stats().BudgetBytes
+			err := store.Load(tableArtifact(wk.id), func(r io.Reader) error {
+				t, err := tables.Load(r)
+				if err != nil {
+					return err
+				}
+				if t.Name() != e.nw.Name() || t.K() != e.nw.K() {
+					return fmt.Errorf("table snapshot is for %s k=%d", t.Name(), t.K())
+				}
+				t.SetBudget(budget)
+				wk.table = t
+				return nil
+			})
+			switch {
+			case err == nil:
+				st.TablesLoaded++
+				st.TableBytes += wk.table.Bytes()
+			case errors.Is(err, ErrNotFound):
+				// Shard starts with a cold table.
+			default:
+				return st, fmt.Errorf("shard: restore shard %d table: %w", wk.id, err)
+			}
+		}
+		n, err := loadCache(store, cacheArtifact(wk.id), e.nw.K(), wk.cache)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return st, fmt.Errorf("shard: restore shard %d cache: %w", wk.id, err)
+		}
+		st.CacheEntries += n
+	}
+	mRestores.Inc()
+	mRestoredEntries.Add(uint64(st.CacheEntries))
+	return st, nil
+}
+
+// saveCache serializes cache into the SCGC artifact and returns the
+// entry count.  RouteCache.Range walks MRU-first per stripe; the
+// loader reverses, so order round-trips hottest-at-front.
+func saveCache(store Store, name string, k int, cache *core.RouteCache) (int, error) {
+	var body bytes.Buffer
+	le := binary.LittleEndian
+	count := 0
+	var hdr [12]byte
+	cache.Range(func(key uint64, steps []gens.GenIndex) {
+		le.PutUint64(hdr[:8], key)
+		le.PutUint32(hdr[8:], uint32(len(steps)))
+		body.Write(hdr[:])
+		for _, s := range steps {
+			body.WriteByte(byte(s))
+		}
+		count++
+	})
+	err := store.Save(name, func(w io.Writer) error {
+		var fixed [16]byte
+		copy(fixed[:4], cacheMagic)
+		le.PutUint32(fixed[4:], cacheVersion)
+		le.PutUint32(fixed[8:], uint32(k))
+		le.PutUint32(fixed[12:], uint32(count))
+		crc := crc32.NewIEEE()
+		crc.Write(fixed[:])
+		crc.Write(body.Bytes())
+		if _, err := w.Write(fixed[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(body.Bytes()); err != nil {
+			return err
+		}
+		var sum [4]byte
+		le.PutUint32(sum[:], crc.Sum32())
+		_, err := w.Write(sum[:])
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+// loadCache rehydrates an SCGC artifact into cache, returning the
+// entry count.  Entries are inserted in reverse serialization order:
+// Range wrote MRU-first, so the last insert — the hottest route —
+// lands at the front of the LRU, and a reload into a smaller cache
+// evicts the cold tail, not the hot head.
+func loadCache(store Store, name string, k int, cache *core.RouteCache) (int, error) {
+	type entry struct {
+		key   uint64
+		steps []gens.GenIndex
+	}
+	var entries []entry
+	err := store.Load(name, func(r io.Reader) error {
+		raw, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		if len(raw) < 20 || string(raw[:4]) != cacheMagic {
+			return fmt.Errorf("bad cache magic")
+		}
+		le := binary.LittleEndian
+		if got := crc32.ChecksumIEEE(raw[:len(raw)-4]); got != le.Uint32(raw[len(raw)-4:]) {
+			return fmt.Errorf("cache checksum mismatch (corrupted artifact)")
+		}
+		if v := le.Uint32(raw[4:]); v != cacheVersion {
+			return fmt.Errorf("cache version %d, want %d", v, cacheVersion)
+		}
+		if gotK := int(le.Uint32(raw[8:])); gotK != k {
+			return fmt.Errorf("cache built for k=%d, engine has k=%d", gotK, k)
+		}
+		count := int(le.Uint32(raw[12:]))
+		if count < 0 || count > maxCacheEntries {
+			return fmt.Errorf("cache entry count %d implausible", count)
+		}
+		body := raw[16 : len(raw)-4]
+		entries = make([]entry, 0, count)
+		for i := 0; i < count; i++ {
+			if len(body) < 12 {
+				return fmt.Errorf("cache truncated at entry %d", i)
+			}
+			key := le.Uint64(body)
+			n := int(le.Uint32(body[8:]))
+			body = body[12:]
+			if n > maxRouteSteps || len(body) < n {
+				return fmt.Errorf("cache entry %d length %d implausible", i, n)
+			}
+			steps := make([]gens.GenIndex, n)
+			for j := 0; j < n; j++ {
+				steps[j] = gens.GenIndex(body[j])
+			}
+			body = body[n:]
+			entries = append(entries, entry{key: key, steps: steps})
+		}
+		if len(body) != 0 {
+			return fmt.Errorf("cache has %d trailing bytes", len(body))
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		cache.Put(entries[i].key, nil, entries[i].steps)
+	}
+	return len(entries), nil
+}

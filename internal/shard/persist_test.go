@@ -1,0 +1,209 @@
+package shard
+
+// Warm-state round trips: drain an engine into a Store, restore into a
+// fresh engine of the same geometry, and require (a) byte-identical
+// routing, (b) zero kernel work for previously served traffic, and
+// (c) honest rejection of mismatched geometry and corrupted artifacts.
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"supercayley/internal/core"
+	"supercayley/internal/perm"
+)
+
+// warmConfig is the banded geometry the round-trip tests share: two
+// shards, per-shard tables under a budget, small per-shard caches.
+func warmConfig() Config {
+	return Config{
+		Shards:             2,
+		ForceBanded:        true,
+		ShardResidentBytes: 64,
+		CacheShards:        1,
+		CacheEntries:       128,
+	}
+}
+
+// driveTraffic routes a fixed pair set and returns it.
+func driveTraffic(t *testing.T, e *Engine, seed int64, pairs int) ([]int64, []int64) {
+	t.Helper()
+	n := perm.Factorial(e.Network().K())
+	r := rand.New(rand.NewSource(seed))
+	srcs, dsts := make([]int64, pairs), make([]int64, pairs)
+	for i := range srcs {
+		srcs[i], dsts[i] = r.Int63n(n), r.Int63n(n)
+	}
+	for i := range srcs {
+		if _, err := e.AppendRouteRanks(nil, srcs[i], dsts[i]); err != nil {
+			t.Fatalf("drive %d→%d: %v", srcs[i], dsts[i], err)
+		}
+	}
+	return srcs, dsts
+}
+
+func kernelRoutes(e *Engine) uint64 {
+	var total uint64
+	for _, ws := range e.WorkerStats() {
+		total += ws.KernelServed
+	}
+	return total
+}
+
+func roundTrip(t *testing.T, store Store) {
+	t.Helper()
+	nw := core.MustNew(core.MS, 5, 1) // k = 6, N = 720
+	ref := core.NewCachedRouter(nw, core.CacheConfig{})
+
+	warm, err := New(nw, warmConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs, dsts := driveTraffic(t, warm, 42, 60)
+	saved, err := warm.SaveTo(store)
+	if err != nil {
+		t.Fatalf("SaveTo: %v", err)
+	}
+	if saved.CacheEntries == 0 {
+		t.Fatal("drain serialized no cache entries from a warm engine")
+	}
+	if want := 1 + 2*warm.Shards(); saved.Artifacts != want {
+		t.Fatalf("drain wrote %d artifacts, want %d (manifest + table/cache per shard)", saved.Artifacts, want)
+	}
+
+	cold, err := New(nw, warmConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := cold.RestoreFrom(store)
+	if err != nil {
+		t.Fatalf("RestoreFrom: %v", err)
+	}
+	if restored.CacheEntries != saved.CacheEntries {
+		t.Fatalf("restored %d cache entries, drained %d", restored.CacheEntries, saved.CacheEntries)
+	}
+	if restored.TablesLoaded != cold.Shards() {
+		t.Fatalf("restored %d shard tables, want %d", restored.TablesLoaded, cold.Shards())
+	}
+	if restored.TableBytes != saved.TableBytes {
+		t.Fatalf("restored %d table bytes, drained %d", restored.TableBytes, saved.TableBytes)
+	}
+
+	// The warm snapshot must serve the original traffic with zero
+	// kernel work — every route comes from a restored band or cache
+	// entry — and byte-identically to the unsharded reference.
+	for i := range srcs {
+		got, err := cold.AppendRouteRanks(nil, srcs[i], dsts[i])
+		if err != nil {
+			t.Fatalf("restored route %d→%d: %v", srcs[i], dsts[i], err)
+		}
+		want, err := ref.AppendRouteRanks(nil, srcs[i], dsts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !portsEqual(got, want) {
+			t.Fatalf("restored route %d→%d is %v, reference %v", srcs[i], dsts[i], got, want)
+		}
+	}
+	if kr := kernelRoutes(cold); kr != 0 {
+		t.Fatalf("restored engine ran the kernel %d times on previously served traffic", kr)
+	}
+}
+
+func TestWarmRoundTripMemStore(t *testing.T) { roundTrip(t, NewMemStore()) }
+
+func TestWarmRoundTripFileStore(t *testing.T) {
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, fs)
+}
+
+// TestRestoreColdStore pins that an empty store reads as ErrNotFound —
+// the cold-start signal, not a failure.
+func TestRestoreColdStore(t *testing.T) {
+	nw := core.MustNew(core.MS, 2, 2)
+	e, err := New(nw, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RestoreFrom(NewMemStore()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store restore: %v, want ErrNotFound", err)
+	}
+}
+
+// TestRestoreRejectsGeometry pins the manifest validation: a snapshot
+// drained from a differently sharded engine must not warm this one.
+func TestRestoreRejectsGeometry(t *testing.T) {
+	nw := core.MustNew(core.MS, 5, 1)
+	store := NewMemStore()
+	a, err := New(nw, warmConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveTraffic(t, a, 1, 10)
+	if _, err := a.SaveTo(store); err != nil {
+		t.Fatal(err)
+	}
+	other := warmConfig()
+	other.Shards = 4
+	b, err := New(nw, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RestoreFrom(store); err == nil {
+		t.Fatal("4-shard engine accepted a 2-shard snapshot")
+	}
+}
+
+// TestRestoreRejectsCorruption flips one byte of a cache artifact on
+// disk and requires the checksum to catch it.
+func TestRestoreRejectsCorruption(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.MustNew(core.MS, 5, 1)
+	a, err := New(nw, warmConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveTraffic(t, a, 2, 20)
+	if _, err := a.SaveTo(fs); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, cacheArtifact(0))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(nw, warmConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RestoreFrom(fs); err == nil {
+		t.Fatal("corrupted cache artifact restored without error")
+	}
+}
+
+// TestFileStoreNames pins the artifact-name hygiene of the file store.
+func TestFileStoreNames(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "a/b", `a\b`, ".hidden", "../escape"} {
+		if err := fs.Save(name, nil); err == nil {
+			t.Fatalf("Save accepted artifact name %q", name)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// The Store seam: where shard warm state lives between processes.
+//
+// Each shard persists two artifacts — its routing-table bands (the
+// tables snapshot format) and its warm route cache (the SCGC format of
+// persist.go) — through this two-method interface, so the engine never
+// knows whether it is draining into process memory, the local
+// filesystem, or (later) an object store shipped between replicas.
+
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound reports that a Store holds no artifact under the
+// requested name; Engine.RestoreFrom treats it as "cold" (build from
+// scratch) rather than an error.
+var ErrNotFound = errors.New("shard: artifact not found")
+
+// Store is the pluggable persistence seam.  Save atomically replaces
+// the artifact under name with whatever write produces; Load streams
+// it back through read, returning ErrNotFound when the name has never
+// been saved.  Names are flat, /-free identifiers chosen by the
+// engine ("manifest", "shard-003.cache").  Implementations must be
+// safe for concurrent calls on distinct names.
+type Store interface {
+	Save(name string, write func(io.Writer) error) error
+	Load(name string, read func(io.Reader) error) error
+}
+
+// MemStore is the in-process Store: artifacts live in a map.  It backs
+// tests and the warm-drain path of a process that restarts its engine
+// without restarting itself.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Save implements Store: write into a buffer, publish on success.
+func (s *MemStore) Save(name string, write func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.m[name] = buf.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load(name string, read func(io.Reader) error) error {
+	s.mu.Lock()
+	b, ok := s.m[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return read(bytes.NewReader(b))
+}
+
+// Len returns the number of stored artifacts.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// FileStore is the file-backed Store: one file per artifact under a
+// directory, written via temp file + rename so a crash mid-save never
+// corrupts the previous snapshot.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore opens (creating if needed) a file store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+func (s *FileStore) path(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+		return "", fmt.Errorf("shard: bad artifact name %q", name)
+	}
+	return filepath.Join(s.dir, name), nil
+}
+
+// Save implements Store with an atomic temp-file + rename.
+func (s *FileStore) Save(name string, write func(io.Writer) error) error {
+	path, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load implements Store.
+func (s *FileStore) Load(name string, read func(io.Reader) error) error {
+	path, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		return err
+	}
+	defer f.Close()
+	return read(f)
+}

@@ -26,7 +26,9 @@ var (
 	mBandFaults = obs.Default.Counter("scg_table_band_faults_total",
 		"walks that hit an unbuilt band under FaultBuild")
 	mDeclines = obs.Default.Counter("scg_table_declines_total",
-		"lookups declined to the router (FaultDecline with absent start band)")
+		"lookups declined to the router (absent start band under FaultDecline or a refused budget)")
+	mBudgetRefused = obs.Default.Counter("scg_table_budget_refused_total",
+		"band faults refused by the residency budget")
 	mSnapshotSaves = obs.Default.Counter("scg_table_snapshot_saves_total",
 		"table snapshots written")
 	mSnapshotLoads = obs.Default.Counter("scg_table_snapshot_loads_total",
@@ -58,7 +60,9 @@ func AggregateStats() Stats {
 		s := t.Stats()
 		agg.BandsBuilt += s.BandsBuilt
 		agg.BandFaults += s.BandFaults
+		agg.BudgetRefused += s.BudgetRefused
 		agg.Bytes += s.Bytes
+		agg.BudgetBytes += s.BudgetBytes
 		agg.BuildNS += s.BuildNS
 	}
 	return agg

@@ -121,12 +121,22 @@ func (p FaultPolicy) String() string {
 }
 
 // Config parameterizes Build.  The zero value is ModeAuto,
-// DefaultBandBits, FaultBuild, GOMAXPROCS build workers.
+// DefaultBandBits, FaultBuild, GOMAXPROCS build workers, no residency
+// budget.
 type Config struct {
 	Mode     Mode
 	BandBits uint // log2 band entries for banded mode; 0 → DefaultBandBits
 	Policy   FaultPolicy
 	Workers  int // parallel build workers; 0 → GOMAXPROCS
+	// MaxResidentBytes bounds the banded table's materialized dims
+	// bytes (0 = unlimited; dense mode ignores it).  A band fault that
+	// would cross the budget is refused instead of built: at the walk
+	// start the lookup declines so the router falls through to its
+	// LRU/kernel, mid-walk the hop substitutes core.GreedyDim —
+	// output-identical either way, so the budget trades speed for
+	// memory, never correctness.  Racing faulters may overshoot by at
+	// most (concurrent faulters − 1) bands.
+	MaxResidentBytes int64
 }
 
 // Table is a precomputed next-dimension routing table for one network.
@@ -163,23 +173,27 @@ type Table struct {
 	bandBits uint
 	bandMask int64
 	bands    []atomic.Pointer[[]uint8]
+	budget   int64 // max resident dims bytes (0 = unlimited)
 
-	buildNS    int64 // initial Build wall time, ns
-	bandsBuilt atomic.Int64
-	bandFaults atomic.Int64
-	resident   atomic.Int64 // built dims bytes
+	buildNS       int64 // initial Build wall time, ns
+	bandsBuilt    atomic.Int64
+	bandFaults    atomic.Int64
+	budgetRefused atomic.Int64 // band faults refused by the residency budget
+	resident      atomic.Int64 // built dims bytes
 }
 
 // Stats is a point-in-time table census.
 type Stats struct {
-	Name       string
-	K          int
-	Mode       string
-	Policy     string
-	BandsBuilt int64 // bands materialized (dense: total bands = 1 slab)
-	BandFaults int64 // on-demand materializations triggered by routing
-	Bytes      int64 // resident dims bytes
-	BuildNS    int64 // initial Build wall time
+	Name          string
+	K             int
+	Mode          string
+	Policy        string
+	BandsBuilt    int64 // bands materialized (dense: total bands = 1 slab)
+	BandFaults    int64 // on-demand materializations triggered by routing
+	BudgetRefused int64 // band faults refused by the residency budget
+	Bytes         int64 // resident dims bytes
+	BudgetBytes   int64 // residency budget (0 = unlimited)
+	BuildNS       int64 // initial Build wall time
 }
 
 // Build constructs the table for nw by walking the quotient rank space
@@ -223,6 +237,7 @@ func Build(nw *core.Network, cfg Config) (*Table, error) {
 		policy:   cfg.Policy,
 		bandBits: bandBits,
 		bandMask: int64(1)<<bandBits - 1,
+		budget:   cfg.MaxResidentBytes,
 	}
 	t.exp = make([][]gens.GenIndex, k+1)
 	for d := 2; d <= k; d++ {
@@ -333,6 +348,13 @@ func (t *Table) Policy() FaultPolicy { return t.policy }
 // BuildTime returns the initial Build wall time.
 func (t *Table) BuildTime() time.Duration { return time.Duration(t.buildNS) }
 
+// SetBudget installs (or clears, with 0) the residency budget.
+// Snapshots do not carry the budget — it is deployment configuration,
+// not table state — so loaders re-apply it here.  SetBudget is a setup
+// call: it must not race with routing.  A loaded table already over
+// the new budget keeps its bands; only further faults are refused.
+func (t *Table) SetBudget(b int64) { t.budget = b }
+
 // Bytes returns the resident table payload in bytes: built dims bands
 // plus the rank→permutation slab when present (expansions and headers
 // are noise by comparison).
@@ -341,14 +363,16 @@ func (t *Table) Bytes() int64 { return t.resident.Load() }
 // Stats returns the current census.
 func (t *Table) Stats() Stats {
 	return Stats{
-		Name:       t.name,
-		K:          t.k,
-		Mode:       t.mode.String(),
-		Policy:     t.policy.String(),
-		BandsBuilt: t.bandsBuilt.Load(),
-		BandFaults: t.bandFaults.Load(),
-		Bytes:      t.Bytes(),
-		BuildNS:    t.buildNS,
+		Name:          t.name,
+		K:             t.k,
+		Mode:          t.mode.String(),
+		Policy:        t.policy.String(),
+		BandsBuilt:    t.bandsBuilt.Load(),
+		BandFaults:    t.bandFaults.Load(),
+		BudgetRefused: t.budgetRefused.Load(),
+		Bytes:         t.Bytes(),
+		BudgetBytes:   t.budget,
+		BuildNS:       t.buildNS,
 	}
 }
 
@@ -357,7 +381,9 @@ func (t *Table) numBands() int64 {
 }
 
 // Prebuild materializes bands [loBand, hiBand) of a banded table (no-op
-// on dense tables), for warming a FaultDecline table deliberately.
+// on dense tables), for warming a FaultDecline table deliberately.  It
+// stops early — without error — at the first band the residency budget
+// refuses: warming fills the budget and leaves the rest on demand.
 func (t *Table) Prebuild(loBand, hiBand int64) error {
 	if t.mode == ModeDense {
 		return nil
@@ -366,12 +392,18 @@ func (t *Table) Prebuild(loBand, hiBand int64) error {
 		return fmt.Errorf("tables: Prebuild band range [%d, %d) out of [0, %d)", loBand, hiBand, nb)
 	}
 	for b := loBand; b < hiBand; b++ {
-		t.band(b)
+		if t.band(b) == nil {
+			return nil
+		}
 	}
 	return nil
 }
 
-// band returns band b, materializing and publishing it if absent.
+// band returns band b, materializing and publishing it if absent, or
+// nil when the residency budget refuses the build.  The budget check
+// reads resident before the CAS publish, so racing faulters can
+// overshoot by at most (concurrent faulters − 1) bands — bounded, and
+// only under contention for distinct unbuilt bands.
 func (t *Table) band(b int64) *[]uint8 {
 	if p := t.bands[b].Load(); p != nil {
 		return p
@@ -380,6 +412,11 @@ func (t *Table) band(b int64) *[]uint8 {
 	hi := lo + t.bandMask + 1
 	if hi > t.n {
 		hi = t.n
+	}
+	if t.budget > 0 && t.resident.Load()+(hi-lo) > t.budget {
+		t.budgetRefused.Add(1)
+		mBudgetRefused.Inc()
+		return nil
 	}
 	dims := make([]uint8, hi-lo)
 	buildRange(dims, nil, nil, t.k, lo, hi, 1)
@@ -472,18 +509,28 @@ func (t *Table) appendDense(dst []gens.GenIndex, w perm.Perm) []gens.GenIndex {
 	}
 }
 
-// appendBanded is the dense walk against on-demand bands.  Absent
-// bands mid-walk never decline: FaultBuild materializes them,
-// FaultDecline substitutes core.GreedyDim for those hops — the same
-// value the band would hold, so the route bytes are identical either
-// way.
+// appendBanded is the dense walk against on-demand bands.  A walk that
+// STARTS in an absent band declines under FaultDecline, and under
+// FaultBuild when the residency budget refuses the fault — either way
+// the router falls through to its LRU/kernel.  Absent bands mid-walk
+// never decline: FaultBuild materializes them (budget permitting),
+// otherwise the hop substitutes core.GreedyDim — the same value the
+// band would hold, so the route bytes are identical either way.
 func (t *Table) appendBanded(dst []gens.GenIndex, w perm.Perm) ([]gens.GenIndex, bool) {
 	var digArr [perm.MaxK]int32
 	dig := digArr[:len(w)]
 	rank := perm.LehmerDigitsInto(dig, w)
-	if t.policy == FaultDecline && t.bands[rank>>t.bandBits].Load() == nil {
-		mDeclines.Inc()
-		return dst, false
+	if t.bands[rank>>t.bandBits].Load() == nil {
+		if t.policy == FaultDecline {
+			mDeclines.Inc()
+			return dst, false
+		}
+		t.bandFaults.Add(1)
+		mBandFaults.Inc()
+		if t.band(rank>>t.bandBits) == nil {
+			mDeclines.Inc()
+			return dst, false
+		}
 	}
 	mark := len(dst)
 	for {
@@ -493,7 +540,11 @@ func (t *Table) appendBanded(dst []gens.GenIndex, w perm.Perm) ([]gens.GenIndex,
 		} else if t.policy == FaultBuild {
 			t.bandFaults.Add(1)
 			mBandFaults.Inc()
-			d = (*t.band(rank >> t.bandBits))[rank&t.bandMask]
+			if p := t.band(rank >> t.bandBits); p != nil {
+				d = (*p)[rank&t.bandMask]
+			} else {
+				d = uint8(core.GreedyDim(w))
+			}
 		} else {
 			d = uint8(core.GreedyDim(w))
 		}
