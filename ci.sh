@@ -26,10 +26,21 @@ if [ -n "$badfmt" ]; then
 fi
 
 # scglint is the repo's own invariant suite (internal/lint): noalloc
-# kernels, exhaustive family switches, deterministic drivers, scratch
-# ownership, goroutine partitioning.  Any finding fails the gate.
+# kernels and their call-graph closure, exhaustive family switches,
+# deterministic drivers, scratch ownership, goroutine partitioning,
+# atomic/lock hygiene and metric-registration discipline.  The text
+# run is the gate (any unsuppressed finding fails); the SARIF run
+# writes the machine-readable artifact for code-scanning upload and
+# must stay byte-parseable even on a clean module.
 echo "== scglint"
+go run ./cmd/scglint -format=sarif ./... >scglint.sarif || true
 go run ./cmd/scglint ./...
+
+# The lint driver analyzes packages from a goroutine fan-out over
+# shared module indexes; its own tests must stay clean under the race
+# detector.
+echo "== go test -race ./internal/lint (analyzer driver)"
+go test -race ./internal/lint
 
 echo "== go build"
 go build ./...

@@ -1,19 +1,13 @@
 // Command scglint runs the repository's static-analysis suite
-// (internal/lint) over the whole module and prints every finding as
+// (internal/lint) over the whole module and reports every finding.
 //
-//	file:line:col: [rule] message — fix: hint
-//
-// It exits 0 when the module is clean, 1 on findings, and 2 when the
-// module cannot be loaded or type-checked.  Package path arguments in
-// the `go vet` style ("./...") are accepted for CLI compatibility but
-// the suite always analyzes the full module: the annotation indexes
-// and cross-package callee checks need the complete picture anyway.
-//
-// Usage, from anywhere inside the module:
-//
-//	go run ./cmd/scglint ./...
-//	go run ./cmd/scglint -list
-//	go run ./cmd/scglint -C internal/lint/testdata/src/noalloc_bad
+// It exits 0 when the module is clean, 1 when unsuppressed findings
+// remain (in every output format), and 2 when the module cannot be
+// loaded or type-checked or the flags are invalid.  Package path
+// arguments in the `go vet` style ("./...") are accepted for CLI
+// compatibility but the suite always analyzes the full module: the
+// annotation indexes, the call-graph closure and the cross-package
+// atomic/metric indexes need the complete picture anyway.
 //
 // When -C points inside a testdata tree, only that directory is
 // type-checked (as a fixture package against the module) and linted —
@@ -21,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,16 +25,49 @@ import (
 	"supercayley/internal/lint"
 )
 
+const usageText = `scglint — the supercayley static-analysis suite
+
+usage: scglint [flags] [packages]
+
+flags:
+  -list            list the analyzers and exit
+  -C dir           directory inside the module to lint (default ".")
+  -rules a,b,c     run only the named rules (default: all nine + suppression hygiene)
+  -format f        output format: text, json, or sarif (default "text")
+
+exit status: 0 clean, 1 unsuppressed findings, 2 load/usage error.
+`
+
+func usage() {
+	fmt.Fprint(os.Stderr, usageText)
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	dir := flag.String("C", ".", "directory inside the module to lint")
+	rulesFlag := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	flag.Usage = usage
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
 			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
+		fmt.Printf("%-18s %s\n", lint.SuppressionRule, "//scg:ignore directives must carry reasons, name real rules, and match findings")
 		return
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "scglint: unknown -format %q (text, json, sarif)\n", *format)
+		os.Exit(2)
+	}
+	var rules []string
+	if *rulesFlag != "" {
+		for _, r := range strings.Split(*rulesFlag, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				rules = append(rules, r)
+			}
+		}
 	}
 
 	root, err := lint.FindModuleRoot(*dir)
@@ -52,24 +80,170 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scglint:", err)
 		os.Exit(2)
 	}
-	var findings []lint.Finding
+	var target []*lint.Package
 	if abs, err := filepath.Abs(*dir); err == nil && inTestdata(abs) {
 		pkg, err := m.LoadDir(abs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scglint:", err)
 			os.Exit(2)
 		}
-		findings = m.Lint(pkg)
-	} else {
-		findings = m.Lint()
+		target = []*lint.Package{pkg}
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	findings, err := m.LintRules(rules, target...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scglint:", err)
+		os.Exit(2)
+	}
+
+	switch *format {
+	case "json":
+		os.Stdout.Write(formatJSON(findings, root))
+	case "sarif":
+		os.Stdout.Write(formatSARIF(findings, root))
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "scglint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// relTo renders path relative to root (URI-style forward slashes),
+// falling back to the input.
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+// jsonFinding is the -format=json record for one finding.
+type jsonFinding struct {
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+	Hint string `json:"hint,omitempty"`
+}
+
+// formatJSON renders findings as a JSON array with module-relative
+// paths.
+func formatJSON(findings []lint.Finding, root string) []byte {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Rule: f.Rule,
+			File: relTo(root, f.Pos.Filename),
+			Line: f.Pos.Line,
+			Col:  f.Pos.Column,
+			Msg:  f.Msg,
+			Hint: f.Hint,
+		})
+	}
+	b, _ := json.MarshalIndent(out, "", "  ")
+	return append(b, '\n')
+}
+
+// Minimal SARIF 2.1.0 document model — just enough for CI code
+// scanning to ingest rules, results and physical locations.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// formatSARIF renders findings as a SARIF 2.1.0 log for CI annotation
+// upload.
+func formatSARIF(findings []lint.Finding, root string) []byte {
+	var rules []sarifRule
+	for _, a := range lint.Analyzers() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               lint.SuppressionRule,
+		ShortDescription: sarifMessage{Text: "//scg:ignore directives must carry reasons, name real rules, and match findings"},
+	})
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		text := f.Msg
+		if f.Hint != "" {
+			text += " — fix: " + f.Hint
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: text},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relTo(root, f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "scglint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	b, _ := json.MarshalIndent(log, "", "  ")
+	return append(b, '\n')
 }
 
 // inTestdata reports whether the path has a "testdata" element — the

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+
+	"supercayley/internal/lint"
+)
+
+// mainFlagNames parses main.go and returns the name of every flag
+// registered in main() via flag.String / flag.Bool / flag.Int, in
+// source order.
+func mainFlagNames(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "main.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing main.go: %v", err)
+	}
+	var names []string
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != "main" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "flag" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "String", "Bool", "Int", "Duration", "Float64":
+			default:
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				t.Fatalf("flag.%s with a non-literal name at %s", sel.Sel.Name, fset.Position(call.Pos()))
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				t.Fatalf("unquoting flag name %s: %v", lit.Value, err)
+			}
+			names = append(names, name)
+			return true
+		})
+	}
+	if len(names) == 0 {
+		t.Fatal("no flag registrations found in main()")
+	}
+	return names
+}
+
+// TestUsageListsEveryFlag is the drift guard: every flag registered in
+// main() must appear as a roster line in usageText, so a new flag
+// cannot ship undocumented.
+func TestUsageListsEveryFlag(t *testing.T) {
+	names := mainFlagNames(t)
+	seen := map[string]bool{}
+	for _, name := range names {
+		seen[name] = true
+		if !strings.Contains(usageText, "\n  -"+name+" ") {
+			t.Errorf("flag -%s is registered in main() but not in usageText", name)
+		}
+	}
+	for _, want := range []string{"list", "C", "rules", "format"} {
+		if !seen[want] {
+			t.Errorf("expected flag -%s to be registered in main()", want)
+		}
+	}
+	if !strings.Contains(usageText, "exit status:") {
+		t.Error("usageText does not document the exit status contract")
+	}
+}
+
+// fakeFindings is a two-finding fixture for the formatter tests; the
+// paths sit under a fake module root so relTo has work to do.
+func fakeFindings() ([]lint.Finding, string) {
+	root := "/mod"
+	return []lint.Finding{
+		{
+			Rule: "noalloc",
+			Pos:  token.Position{Filename: "/mod/internal/a/a.go", Line: 10, Column: 2},
+			Msg:  "call allocates",
+			Hint: "hoist the buffer",
+		},
+		{
+			Rule: "lock-hygiene",
+			Pos:  token.Position{Filename: "/elsewhere/b.go", Line: 3, Column: 1},
+			Msg:  "b.mu held across channel send",
+		},
+	}, root
+}
+
+// TestFormatJSON pins the JSON shape: rule/file/line/col/msg fields,
+// module-relative paths, and hint omitted when empty.
+func TestFormatJSON(t *testing.T) {
+	findings, root := fakeFindings()
+	var out []map[string]any
+	if err := json.Unmarshal(formatJSON(findings, root), &out); err != nil {
+		t.Fatalf("formatJSON is not valid JSON: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d records, want 2", len(out))
+	}
+	if got := out[0]["file"]; got != "internal/a/a.go" {
+		t.Errorf("first file = %v, want module-relative internal/a/a.go", got)
+	}
+	if got := out[1]["file"]; got != "/elsewhere/b.go" {
+		t.Errorf("out-of-module file = %v, want absolute /elsewhere/b.go", got)
+	}
+	if got := out[0]["hint"]; got != "hoist the buffer" {
+		t.Errorf("hint = %v", got)
+	}
+	if _, ok := out[1]["hint"]; ok {
+		t.Error("empty hint should be omitted from JSON")
+	}
+	if got := out[0]["line"]; got != float64(10) {
+		t.Errorf("line = %v, want 10", got)
+	}
+}
+
+// TestFormatSARIF pins the SARIF envelope: version 2.1.0, a driver
+// rule per analyzer plus the suppression pseudo-rule, and results with
+// physical locations matching the findings.
+func TestFormatSARIF(t *testing.T) {
+	findings, root := fakeFindings()
+	var log sarifLog
+	if err := json.Unmarshal(formatSARIF(findings, root), &log); err != nil {
+		t.Fatalf("formatSARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "scglint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if want := len(lint.Analyzers()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("driver lists %d rules, want %d (analyzers + suppression)", len(run.Tool.Driver.Rules), want)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	if !ruleIDs[lint.SuppressionRule] {
+		t.Errorf("driver rules missing %q", lint.SuppressionRule)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "noalloc" || first.Level != "error" {
+		t.Errorf("first result = %+v", first)
+	}
+	if !strings.Contains(first.Message.Text, "hoist the buffer") {
+		t.Errorf("hint not folded into message: %q", first.Message.Text)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/a/a.go" || loc.Region.StartLine != 10 {
+		t.Errorf("first location = %+v", loc)
+	}
+}
+
+// TestInTestdata pins the fixture-directory detection used to switch
+// scglint into single-package mode.
+func TestInTestdata(t *testing.T) {
+	for path, want := range map[string]bool{
+		"/mod/internal/lint/testdata/src/x": true,
+		"/mod/internal/lint":                false,
+		"testdata":                          true,
+		"/mod/nottestdata/src":              false,
+	} {
+		if got := inTestdata(path); got != want {
+			t.Errorf("inTestdata(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -130,6 +130,8 @@ func newRouteCache(cfg CacheConfig, exact bool) *RouteCache {
 
 // splitmix64 scrambles the key so that dense Lehmer ranks (zipfian
 // heads cluster at low ranks) spread evenly across shards.
+//
+//scg:noalloc
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
@@ -137,6 +139,7 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+//scg:noalloc
 func (c *RouteCache) shardOf(key uint64) *routeShard {
 	return &c.shards[splitmix64(key)&c.mask]
 }
@@ -144,6 +147,8 @@ func (c *RouteCache) shardOf(key uint64) *routeShard {
 // Get appends the cached route for (key, w) onto dst and reports
 // whether it was present.  w is only consulted for hashed keys (exact
 // caches may pass nil).
+//
+//scg:noalloc
 func (c *RouteCache) Get(dst []gens.GenIndex, key uint64, w perm.Perm) ([]gens.GenIndex, bool) {
 	return c.get(dst, key, w)
 }
@@ -156,7 +161,11 @@ func (c *RouteCache) Put(key uint64, w perm.Perm, steps []gens.GenIndex) {
 }
 
 // get appends the cached route for (key, w) onto dst and reports
-// whether it was present.  w is only consulted for hashed keys.
+// whether it was present.  w is only consulted for hashed keys.  The
+// warm hit is the sharded engines' entire steady state, so the whole
+// chain down to the LRU list surgery carries //scg:noalloc.
+//
+//scg:noalloc
 func (c *RouteCache) get(dst []gens.GenIndex, key uint64, w perm.Perm) ([]gens.GenIndex, bool) {
 	sh := c.shardOf(key)
 	sh.mu.Lock()
@@ -208,6 +217,7 @@ func (c *RouteCache) put(key uint64, w perm.Perm, steps []gens.GenIndex) {
 	sh.mu.Unlock()
 }
 
+//scg:noalloc
 func (sh *routeShard) pushFront(e *routeEntry) {
 	e.prev = nil
 	e.next = sh.head
@@ -220,6 +230,7 @@ func (sh *routeShard) pushFront(e *routeEntry) {
 	}
 }
 
+//scg:noalloc
 func (sh *routeShard) unlink(e *routeEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
@@ -234,6 +245,7 @@ func (sh *routeShard) unlink(e *routeEntry) {
 	e.prev, e.next = nil, nil
 }
 
+//scg:noalloc
 func (sh *routeShard) moveToFront(e *routeEntry) {
 	if sh.head == e {
 		return

@@ -1,0 +1,200 @@
+package lint
+
+// atomic-hygiene — once atomic, always atomic.
+//
+// A struct field or package-level variable accessed through
+// sync/atomic anywhere in the module (atomic.LoadUint64(&t.seed),
+// CompareAndSwap on a band pointer, ...) is atomically published: a
+// plain read or write of it anywhere else is a data race the race
+// detector only catches when the schedule cooperates.  This analyzer
+// indexes every such object module-wide and flags any non-atomic use.
+// Fields of the typed atomics (atomic.Int64, atomic.Pointer[T], ...)
+// are held to the same standard: they may only appear as method-call
+// receivers or have their address taken.
+//
+// Known limits, by design: local variables are excluded (a local
+// atomic counter joined before its plain read — the sim throughput
+// driver's pattern — is not shared state in the flagged sense), as are
+// element-level atomics on slice entries (&h.counts[i]) whose identity
+// is not a single object, and composite-literal keys (construction
+// precedes publication).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomicOps are the sync/atomic function name prefixes whose first
+// argument is the address of the atomically-accessed word.
+var atomicOps = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap"}
+
+// typedAtomics are the sync/atomic wrapper types whose values must
+// only be touched through their methods.
+var typedAtomics = map[string]bool{
+	"sync/atomic.Bool":    true,
+	"sync/atomic.Int32":   true,
+	"sync/atomic.Int64":   true,
+	"sync/atomic.Uint32":  true,
+	"sync/atomic.Uint64":  true,
+	"sync/atomic.Uintptr": true,
+	"sync/atomic.Pointer": true,
+	"sync/atomic.Value":   true,
+}
+
+// atomicIndex records which objects are atomically accessed somewhere
+// in the analysis scope, and the exact AST nodes where such access is
+// legitimate.
+type atomicIndex struct {
+	objs    map[types.Object]token.Position // object → first atomic access site
+	allowed map[ast.Node]bool               // operand nodes of atomic calls
+}
+
+// buildAtomicIndex scans scope for sync/atomic calls taking &expr and
+// records the field / package-var objects behind them.
+func buildAtomicIndex(m *Module, scope []*Package) *atomicIndex {
+	idx := &atomicIndex{
+		objs:    map[types.Object]token.Position{},
+		allowed: map[ast.Node]bool{},
+	}
+	for _, pkg := range scope {
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isAtomicFunc(info, call) {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				operand := ast.Unparen(addr.X)
+				obj := sharedVarOf(info, pkg, operand)
+				if obj == nil {
+					return true
+				}
+				idx.allowed[operand] = true
+				if _, seen := idx.objs[obj]; !seen {
+					idx.objs[obj] = m.Fset.Position(call.Pos())
+				}
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+// isAtomicFunc reports whether the call invokes a sync/atomic
+// package-level function with an address-of-word first argument.
+func isAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeOf(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false // typed-atomic method: handled by the type check
+	}
+	for _, op := range atomicOps {
+		if strings.HasPrefix(fn.Name(), op) {
+			return true
+		}
+	}
+	return false
+}
+
+// sharedVarOf resolves expr to the struct-field or package-level
+// variable it denotes; nil for locals, slice elements, and anything
+// else whose identity is not one shared object.
+func sharedVarOf(info *types.Info, pkg *Package, expr ast.Expr) types.Object {
+	switch x := expr.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		// Qualified package-level var (pkg.Var).
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && isPkgLevel(v) {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && isPkgLevel(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+// isPkgLevel reports whether v is declared at package scope.
+func isPkgLevel(v *types.Var) bool {
+	return !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// runAtomic flags, within pkg, every plain use of an object the index
+// marks atomically accessed, and every non-method use of a
+// typed-atomic field or package var.
+func runAtomic(r *Run, pkg *Package) []Finding {
+	info := pkg.Info
+	var out []Finding
+	// allowedTyped marks nodes where touching a typed-atomic value is
+	// fine: method-call receivers and address-of operands.
+	allowedTyped := map[ast.Node]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if _, ok := info.Uses[x.Sel].(*types.Func); ok {
+					allowedTyped[ast.Unparen(x.X)] = true
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					allowedTyped[ast.Unparen(x.X)] = true
+				}
+			}
+			return true
+		})
+	}
+	flag := func(n ast.Node, obj types.Object) {
+		if first, ok := r.atomics.objs[obj]; ok && !r.atomics.allowed[n] {
+			out = append(out, r.finding("atomic-hygiene", n,
+				fmt.Sprintf("plain access of %s, which is accessed via sync/atomic (first at %s)", obj.Name(), first),
+				"use sync/atomic for every access of an atomically-published word"))
+			return
+		}
+		if named := namedOf(obj.Type()); named != nil && typedAtomics[typeKey(named)] && !allowedTyped[n] {
+			out = append(out, r.finding("atomic-hygiene", n,
+				fmt.Sprintf("%s has atomic type %s and is used outside a method call", obj.Name(), typeKey(named)),
+				"typed atomics must only be touched through their methods (Load, Store, Add, ...)"))
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[x]; ok {
+					if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+						flag(x, v)
+					}
+					return true
+				}
+				if v, ok := info.Uses[x.Sel].(*types.Var); ok && isPkgLevel(v) {
+					flag(x, v)
+					return false // don't re-flag via the Sel ident
+				}
+			case *ast.Ident:
+				if v, ok := info.Uses[x].(*types.Var); ok && isPkgLevel(v) {
+					flag(x, v)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

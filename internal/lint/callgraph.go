@@ -1,0 +1,128 @@
+package lint
+
+// Static call-graph construction for the interprocedural analyzers.
+//
+// The graph is deliberately simple — and its limits documented: nodes
+// are module function declarations, edges are syntactically static
+// calls (named functions and methods resolved through go/types).
+// Indirect calls through function values, interface method calls, and
+// calls that only happen via reflection contribute no edges; the
+// shallow noalloc analyzer already flags those inside annotated
+// bodies, so nothing escapes silently.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// callEdge is one static call site: caller invokes callee at pos.
+type callEdge struct {
+	caller types.Object
+	callee types.Object
+	pos    token.Position
+}
+
+// callGraph holds the outgoing edges of every function declared in the
+// analysis scope, in source order per caller.
+type callGraph struct {
+	edges map[types.Object][]callEdge
+	decls map[types.Object]*ast.FuncDecl // scope declarations only
+}
+
+// buildCallGraph walks every function body in scope and records its
+// static calls to module-declared functions.
+func buildCallGraph(m *Module, scope []*Package) *callGraph {
+	g := &callGraph{
+		edges: map[types.Object][]callEdge{},
+		decls: map[types.Object]*ast.FuncDecl{},
+	}
+	for _, pkg := range scope {
+		info := pkg.Info
+		funcsOf(pkg, func(obj types.Object, fd *ast.FuncDecl) {
+			g.decls[obj] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isBuiltin(info, call, "panic") {
+					// Panic arguments never run on a correct execution;
+					// the shallow noalloc rule exempts them, so calls
+					// inside them contribute no closure edges either.
+					return false
+				}
+				callee := calleeOf(info, call)
+				fn, ok := callee.(*types.Func)
+				if !ok {
+					return true
+				}
+				if _, declared := m.decls[fn]; !declared {
+					return true // external or interface method: no edge
+				}
+				g.edges[obj] = append(g.edges[obj], callEdge{
+					caller: obj, callee: fn, pos: m.Fset.Position(call.Pos()),
+				})
+				return true
+			})
+		})
+	}
+	return g
+}
+
+// closureInfo explains why a function carries the transitive noalloc
+// obligation: the annotated root that reaches it and the call site
+// that introduced it into the closure.
+type closureInfo struct {
+	root types.Object
+	via  token.Position
+}
+
+// noallocClosure computes the set of scope functions reachable from
+// any //scg:noalloc-annotated root over static call edges.  An edge
+// whose call line carries a suppression for noalloc-closure (or
+// noalloc) is cut — and the directive marked used — so a deliberate
+// cold path can terminate the obligation with a recorded reason.
+func (g *callGraph) noallocClosure(r *Run) map[types.Object]*closureInfo {
+	var roots []types.Object
+	for obj := range g.decls {
+		if r.Noalloc(obj) {
+			roots = append(roots, obj)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		a := r.Fset.Position(g.decls[roots[i]].Name.Pos())
+		b := r.Fset.Position(g.decls[roots[j]].Name.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	reach := map[types.Object]*closureInfo{}
+	queue := make([]types.Object, 0, len(roots))
+	for _, root := range roots {
+		if reach[root] == nil {
+			reach[root] = &closureInfo{root: root}
+			queue = append(queue, root)
+		}
+	}
+	for len(queue) > 0 {
+		caller := queue[0]
+		queue = queue[1:]
+		rootOf := reach[caller].root
+		for _, e := range g.edges[caller] {
+			cutA := r.supp.match(e.pos.Filename, e.pos.Line, "noalloc-closure")
+			cutB := r.supp.match(e.pos.Filename, e.pos.Line, "noalloc")
+			if cutA || cutB {
+				continue
+			}
+			if reach[e.callee] != nil {
+				continue
+			}
+			reach[e.callee] = &closureInfo{root: rootOf, via: e.pos}
+			queue = append(queue, e.callee)
+		}
+	}
+	return reach
+}

@@ -1,0 +1,41 @@
+package lint
+
+// noalloc-closure — interprocedural propagation of //scg:noalloc.
+//
+// The shallow noalloc analyzer already flags an annotated function
+// calling an unannotated module function at the call site.  This
+// analyzer makes the obligation transitive: every module function
+// reachable from an annotated kernel over static call edges must
+// itself be annotated (and therefore checked by the shallow rule), or
+// the introducing call must be suppressed with a reason.  The result
+// is that the AllocsPerRun==0 CI guards are statically explainable:
+// the entire call tree under a guarded entry point is visibly
+// annotated and body-checked.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+func runClosure(r *Run, pkg *Package) []Finding {
+	var out []Finding
+	funcsOf(pkg, func(obj types.Object, fd *ast.FuncDecl) {
+		info := r.closure[obj]
+		if info == nil || info.root == obj || r.Noalloc(obj) {
+			return
+		}
+		if fn, ok := obj.(*types.Func); ok && noallocRoster[fn.FullName()] {
+			return
+		}
+		rootName := info.root.Name()
+		if fn, ok := info.root.(*types.Func); ok {
+			rootName = fn.FullName()
+		}
+		out = append(out, r.finding("noalloc-closure", fd.Name,
+			fmt.Sprintf("%s is reachable from //scg:noalloc root %s (via the call at %s) but is not annotated //scg:noalloc",
+				obj.Name(), rootName, info.via),
+			"annotate it //scg:noalloc (and keep its body allocation-free), or suppress the introducing call with //scg:ignore noalloc-closure -- <reason>"))
+	})
+	return out
+}

@@ -23,7 +23,8 @@ import (
 //     deterministic code draws from an injected seeded *rand.Rand;
 //     constructing one (rand.New, rand.NewSource) stays legal
 
-func runDeterminism(m *Module, pkg *Package) []Finding {
+func runDeterminism(r *Run, pkg *Package) []Finding {
+	m := r.Module
 	var out []Finding
 	funcsOf(pkg, func(obj types.Object, fd *ast.FuncDecl) {
 		if !m.Deterministic(obj) {

@@ -31,7 +31,8 @@ var exhaustiveEnums = map[string]bool{
 	"fixture/exhaustive_ok.Shade":      true,
 }
 
-func runExhaustive(m *Module, pkg *Package) []Finding {
+func runExhaustive(r *Run, pkg *Package) []Finding {
+	m := r.Module
 	var out []Finding
 	info := pkg.Info
 	for _, f := range pkg.Files {

@@ -3,7 +3,7 @@
 // conventions the compiler cannot see but the routing, analytics and
 // simulation engines rely on.
 //
-// Five analyzers run over every type-checked package of the module:
+// Nine analyzers run over every type-checked package of the module:
 //
 //   - noalloc: functions annotated //scg:noalloc (the zero-alloc
 //     routing kernels and their hot-path callees) must stay free of
@@ -19,6 +19,30 @@
 //   - parallel-hygiene: goroutine literals must index shared slices by
 //     goroutine-local values, and sync.Pool Get/Put/New types must
 //     agree.
+//   - noalloc-closure: the //scg:noalloc obligation propagates through
+//     the module call graph — every module function reachable from an
+//     annotated kernel must itself be annotated (or the introducing
+//     call suppressed), so the AllocsPerRun==0 CI guards are
+//     statically explainable end to end.
+//   - atomic-hygiene: a struct field or package variable accessed
+//     through sync/atomic anywhere in the module must be accessed
+//     atomically everywhere; typed atomics (atomic.Int64, ...) may
+//     only be touched through their methods.
+//   - lock-hygiene: within a function, a held sync.Mutex/RWMutex must
+//     be released on every path, must not be re-locked, and must not
+//     be held across channel operations, WaitGroup.Wait, or
+//     net/http/os blocking calls.
+//   - obs-discipline: every obs metric is registered exactly once,
+//     under a constant snake_case name, at package init or in a
+//     constructor — never on a hot path.
+//
+// Findings can be silenced site-by-site with a reasoned suppression
+// directive (see suppress.go):
+//
+//	//scg:ignore <rule>[,<rule>...] -- <reason>
+//
+// The reason is mandatory and unused suppressions are themselves
+// findings, so the suppression inventory cannot rot silently.
 //
 // The suite is built on go/parser, go/ast, go/types and go/importer
 // alone, so it runs offline with no dependency beyond the Go
@@ -32,6 +56,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Annotation directives.  The grammar is the standard Go directive
@@ -46,6 +71,9 @@ const (
 	// must not depend on scheduling, map order, time, or hidden
 	// randomness.
 	DirectiveDeterministic = "scg:deterministic"
+	// DirectiveIgnore suppresses named rules on one line, with a
+	// mandatory reason: //scg:ignore rule1,rule2 -- reason.
+	DirectiveIgnore = "scg:ignore"
 )
 
 // Finding is one rule violation: where, what, and how to fix it.
@@ -70,7 +98,7 @@ func (f Finding) String() string {
 type Analyzer struct {
 	Name string
 	Doc  string
-	Run  func(m *Module, pkg *Package) []Finding
+	Run  func(r *Run, pkg *Package) []Finding
 }
 
 // Analyzers returns the full rule set in a fixed order.
@@ -81,21 +109,144 @@ func Analyzers() []Analyzer {
 		{Name: "determinism", Doc: "//scg:deterministic code must not use map order, time.Now, or global math/rand", Run: runDeterminism},
 		{Name: "scratch-hygiene", Doc: "Into/Scratch APIs must not retain or leak caller-owned buffers", Run: runScratch},
 		{Name: "parallel-hygiene", Doc: "goroutines must partition shared slices; sync.Pool types must agree", Run: runParallel},
+		{Name: "noalloc-closure", Doc: "//scg:noalloc propagates through the call graph: every reachable module function must be annotated", Run: runClosure},
+		{Name: "atomic-hygiene", Doc: "fields accessed via sync/atomic anywhere must be accessed atomically everywhere", Run: runAtomic},
+		{Name: "lock-hygiene", Doc: "held mutexes must unlock on all paths, never re-lock, never cover blocking operations", Run: runLock},
+		{Name: "obs-discipline", Doc: "obs metrics are registered once, with constant snake_case names, at init or in constructors", Run: runObs},
 	}
+}
+
+// RuleNames returns the analyzer names in registration order, plus the
+// pseudo-rule "suppression" under which directive-hygiene findings
+// (missing reason, unknown rule, unused suppression) are reported.
+func RuleNames() []string {
+	var out []string
+	for _, a := range Analyzers() {
+		out = append(out, a.Name)
+	}
+	return append(out, SuppressionRule)
+}
+
+// Run is one lint invocation: the module under analysis, the packages
+// being linted, the enabled rule set, and the shared cross-package
+// indexes the interprocedural analyzers consult.  All indexes are
+// built single-threaded before the per-package fan-out and are
+// read-only afterwards, so the parallel driver is race-free.
+type Run struct {
+	*Module
+	pkgs  []*Package
+	rules map[string]bool // nil = every rule enabled
+
+	graph   *callGraph // static module call graph (noalloc-closure)
+	closure map[types.Object]*closureInfo
+	atomics *atomicIndex    // atomically-accessed fields/vars (atomic-hygiene)
+	metrics *metricIndex    // metric name → registration sites (obs-discipline)
+	supp    *suppressionSet // //scg:ignore directives over the analyzed files
+}
+
+// enabled reports whether the named rule runs in this invocation.
+func (r *Run) enabled(name string) bool { return r.rules == nil || r.rules[name] }
+
+// newRun assembles the shared state for one lint invocation.  The
+// interprocedural indexes span the union of the module's own packages
+// and the analyzed set (they coincide for module runs; fixture runs
+// add the fixture package on top), so a fixture package mixing plain
+// and atomic access — or calling an annotated module kernel — is
+// judged against the same world the module is.
+func (m *Module) newRun(rules []string, pkgs []*Package) (*Run, error) {
+	r := &Run{Module: m, pkgs: pkgs}
+	if rules != nil {
+		r.rules = map[string]bool{}
+		known := map[string]bool{}
+		for _, name := range RuleNames() {
+			known[name] = true
+		}
+		for _, name := range rules {
+			if !known[name] {
+				return nil, fmt.Errorf("lint: unknown rule %q (known: %s)", name, strings.Join(RuleNames(), ", "))
+			}
+			r.rules[name] = true
+		}
+	}
+	scope := pkgs
+	seen := map[*Package]bool{}
+	for _, pkg := range pkgs {
+		seen[pkg] = true
+	}
+	for _, pkg := range m.Pkgs {
+		if !seen[pkg] {
+			scope = append(scope, pkg)
+		}
+	}
+	r.supp = scanSuppressions(m, scope, pkgs)
+	if r.enabled("noalloc-closure") {
+		r.graph = buildCallGraph(m, scope)
+		r.closure = r.graph.noallocClosure(r)
+	}
+	if r.enabled("atomic-hygiene") {
+		r.atomics = buildAtomicIndex(m, scope)
+	}
+	if r.enabled("obs-discipline") {
+		r.metrics = buildMetricIndex(m, scope)
+	}
+	return r, nil
 }
 
 // Lint runs every analyzer over the given packages (default: the whole
 // module) and returns the findings sorted by position.
 func (m *Module) Lint(pkgs ...*Package) []Finding {
+	out, err := m.LintRules(nil, pkgs...)
+	if err != nil {
+		// nil rule list cannot name an unknown rule.
+		panic(err)
+	}
+	return out
+}
+
+// LintRules runs the named rules (nil = all) over the given packages
+// (default: the whole module), analyzing packages in parallel, and
+// returns the findings sorted by position — deterministic regardless
+// of scheduling.  Suppressed findings are dropped; suppression-hygiene
+// findings (missing reason, unknown rule, unused directive) are
+// appended when the full rule set runs.
+func (m *Module) LintRules(rules []string, pkgs ...*Package) ([]Finding, error) {
 	if len(pkgs) == 0 {
 		pkgs = m.Pkgs
 	}
-	var out []Finding
-	for _, pkg := range pkgs {
-		for _, a := range Analyzers() {
-			out = append(out, a.Run(m, pkg)...)
-		}
+	r, err := m.newRun(rules, pkgs)
+	if err != nil {
+		return nil, err
 	}
+	analyzers := Analyzers()
+	results := make([][]Finding, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			var fs []Finding
+			for _, a := range analyzers {
+				if r.enabled(a.Name) {
+					fs = append(fs, a.Run(r, pkg)...)
+				}
+			}
+			results[i] = fs
+		}(i, pkg)
+	}
+	wg.Wait()
+	var out []Finding
+	for _, fs := range results {
+		out = append(out, r.supp.apply(fs)...)
+	}
+	if r.rules == nil && r.enabled(SuppressionRule) {
+		out = append(out, r.supp.hygiene(r)...)
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// sortFindings orders findings by file, line, column, then rule.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -109,7 +260,6 @@ func (m *Module) Lint(pkgs ...*Package) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
 }
 
 // hasDirective reports whether the comment group carries the directive

@@ -49,6 +49,25 @@ var noallocRoster = map[string]bool{
 	"math/bits.OnesCount64":     true,
 	"math/bits.TrailingZeros64": true,
 	"math/bits.LeadingZeros64":  true,
+
+	// Typed-atomic methods: same single instructions behind a struct.
+	"(*sync/atomic.Int64).Add":    true,
+	"(*sync/atomic.Int64).Load":   true,
+	"(*sync/atomic.Uint64).Add":   true,
+	"(*sync/atomic.Uint64).Load":  true,
+	"(*sync/atomic.Uint64).Store": true,
+
+	// Uncontended mutex fast paths are a CAS; the slow path parks the
+	// goroutine without allocating.  Rostering them lets the warm
+	// cache-hit and batcher admission paths carry //scg:noalloc.
+	"(*sync.Mutex).Lock":      true,
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).RLock":   true,
+	"(*sync.RWMutex).RUnlock": true,
+
+	// Monotonic clock reads stay in the vDSO; Sub is arithmetic.
+	"time.Now":        true,
+	"(time.Time).Sub": true,
 }
 
 // noallocChecker walks one annotated function body.
@@ -61,7 +80,8 @@ type noallocChecker struct {
 	findings []Finding
 }
 
-func runNoalloc(m *Module, pkg *Package) []Finding {
+func runNoalloc(r *Run, pkg *Package) []Finding {
+	m := r.Module
 	var out []Finding
 	funcsOf(pkg, func(obj types.Object, fd *ast.FuncDecl) {
 		if !m.Noalloc(obj) {

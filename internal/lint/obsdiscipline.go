@@ -1,0 +1,181 @@
+package lint
+
+// obs-discipline — metric registration is a startup activity.
+//
+// The obs registry panics at runtime on a duplicate or malformed
+// metric name; this analyzer moves both failures to lint time, and
+// adds the one check the registry cannot do: *where* registration
+// happens.  A Counter/Gauge/Histogram registered inside a
+// request-path function allocates and takes the registry lock per
+// call — the canonical slow leak.  Registrations are therefore only
+// allowed in package-level var initializers, init functions, and
+// New*/new* constructors; names must be compile-time constant
+// snake_case identifiers; and each name is registered exactly once
+// across the module.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// registryMethods are the obs.Registry methods that register a metric
+// under the name in their first argument.
+var registryMethods = map[string]bool{
+	"Counter":     true,
+	"CounterFunc": true,
+	"Gauge":       true,
+	"GaugeFunc":   true,
+	"HopHist":     true,
+	"Pow2Hist":    true,
+}
+
+// metricIndex maps each constant metric name to its registration
+// sites across the analysis scope, in position order.
+type metricIndex struct {
+	sites map[string][]token.Position
+}
+
+// buildMetricIndex records every constant-name registration in scope.
+func buildMetricIndex(m *Module, scope []*Package) *metricIndex {
+	idx := &metricIndex{sites: map[string][]token.Position{}}
+	for _, pkg := range scope {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isRegistration(pkg.Info, call) {
+					return true
+				}
+				if name, isConst := metricName(pkg.Info, call); isConst {
+					idx.sites[name] = append(idx.sites[name], m.Fset.Position(call.Pos()))
+				}
+				return true
+			})
+		}
+	}
+	for _, sites := range idx.sites {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Filename != sites[j].Filename {
+				return sites[i].Filename < sites[j].Filename
+			}
+			if sites[i].Line != sites[j].Line {
+				return sites[i].Line < sites[j].Line
+			}
+			return sites[i].Column < sites[j].Column
+		})
+	}
+	return idx
+}
+
+// isRegistration reports whether the call is an obs.Registry
+// registration method.
+func isRegistration(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeOf(info, call).(*types.Func)
+	if !ok || !registryMethods[fn.Name()] || len(call.Args) == 0 {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Name() == "Registry" &&
+		named.Obj().Pkg() != nil && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
+}
+
+// metricName extracts the constant string value of the name argument.
+func metricName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// validSnakeCase is the Prometheus-compatible identifier grammar the
+// repo holds metric names to: lowercase snake_case, letter first.
+func validSnakeCase(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func runObs(r *Run, pkg *Package) []Finding {
+	var out []Finding
+	check := func(call *ast.CallExpr, ctx string) {
+		if !isRegistration(pkg.Info, call) {
+			return
+		}
+		name, isConst := metricName(pkg.Info, call)
+		if !isConst {
+			out = append(out, r.finding("obs-discipline", call.Args[0],
+				"metric name is not a compile-time constant",
+				"register under a literal (or const) snake_case name so the inventory is statically known"))
+			return
+		}
+		if !validSnakeCase(name) {
+			out = append(out, r.finding("obs-discipline", call.Args[0],
+				fmt.Sprintf("metric name %q is not a valid snake_case identifier", name),
+				"use lowercase letters, digits and underscores, starting with a letter"))
+		}
+		switch {
+		case ctx == "var", ctx == "init",
+			strings.HasPrefix(ctx, "New"), strings.HasPrefix(ctx, "new"):
+			// Startup context: fine.
+		case ctx == "closure":
+			out = append(out, r.finding("obs-discipline", call,
+				fmt.Sprintf("metric %q registered inside a function literal", name),
+				"register once at package init or in a constructor, not in a callback"))
+		default:
+			out = append(out, r.finding("obs-discipline", call,
+				fmt.Sprintf("metric %q registered on a potential hot path (function %s)", name, ctx),
+				"move the registration to a package-level var, init, or a New* constructor"))
+		}
+		sites := r.metrics.sites[name]
+		if len(sites) > 1 {
+			pos := r.Fset.Position(call.Pos())
+			if pos != sites[0] {
+				out = append(out, r.finding("obs-discipline", call,
+					fmt.Sprintf("metric %q already registered at %s", name, sites[0]),
+					"every metric name is registered exactly once module-wide"))
+			}
+		}
+	}
+	var visit func(root ast.Node, ctx string)
+	visit = func(root ast.Node, ctx string) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(lit.Body, "closure")
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				check(call, ctx)
+			}
+			return true
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					visit(d.Body, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				visit(d, "var")
+			}
+		}
+	}
+	return out
+}

@@ -23,7 +23,8 @@ import (
 // field.  A mismatched Put poisons the pool with values whose Get
 // assertion will panic later, far from the bug.
 
-func runParallel(m *Module, pkg *Package) []Finding {
+func runParallel(r *Run, pkg *Package) []Finding {
+	m := r.Module
 	var out []Finding
 	out = append(out, checkGoroutineIndexing(m, pkg)...)
 	out = append(out, checkPoolConsistency(m, pkg)...)

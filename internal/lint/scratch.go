@@ -25,7 +25,8 @@ import (
 // The rule scopes to functions named *Into or taking a parameter whose
 // type name ends in "Scratch", and flags both patterns.
 
-func runScratch(m *Module, pkg *Package) []Finding {
+func runScratch(r *Run, pkg *Package) []Finding {
+	m := r.Module
 	var out []Finding
 	info := pkg.Info
 	funcsOf(pkg, func(obj types.Object, fd *ast.FuncDecl) {

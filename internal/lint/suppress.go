@@ -1,0 +1,210 @@
+package lint
+
+// //scg:ignore — the reasoned, line-scoped suppression directive.
+//
+// Grammar:
+//
+//	//scg:ignore <rule>[,<rule>...] -- <reason>
+//
+// Placed at the end of the offending line it covers that line; placed
+// alone on a line (nothing but whitespace before it) it covers the
+// next line.  The reason after " -- " is mandatory: a directive
+// without one is itself a finding and suppresses nothing, so every
+// silenced site carries its justification in the source.  A directive
+// naming a rule that doesn't exist, or one that matches no finding in
+// a full run, is also a finding — the suppression inventory cannot
+// rot silently.
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// SuppressionRule is the pseudo-rule under which directive-hygiene
+// findings (missing reason, unknown rule, unused suppression) are
+// reported.  It is a valid -rules selector but has no analyzer; its
+// findings ride along with full runs.
+const SuppressionRule = "suppression"
+
+// suppression is one parsed //scg:ignore directive.
+type suppression struct {
+	pos    token.Position
+	file   string
+	line   int // the source line the directive covers
+	rules  []string
+	reason string
+	bad    string // non-empty: parse problem; directive suppresses nothing
+	used   bool
+}
+
+// suppressionSet indexes every directive of the analysis scope by the
+// line it covers.  It is built single-threaded before the per-package
+// fan-out; apply and hygiene run after the fan-out joins, so the used
+// flag needs no locking.
+type suppressionSet struct {
+	byLine   map[string]map[int][]*suppression
+	all      []*suppression  // source order
+	analyzed map[string]bool // files of analyzed packages: hygiene reports only here
+}
+
+// scanSuppressions parses every //scg:ignore directive in scope.
+// Directives anywhere in the module can cut noalloc-closure edges, but
+// hygiene findings are only reported for the analyzed packages.
+func scanSuppressions(m *Module, scope, analyzed []*Package) *suppressionSet {
+	set := &suppressionSet{
+		byLine:   map[string]map[int][]*suppression{},
+		analyzed: map[string]bool{},
+	}
+	for _, pkg := range analyzed {
+		for _, f := range pkg.Files {
+			set.analyzed[m.Fset.Position(f.Package).Filename] = true
+		}
+	}
+	for _, pkg := range scope {
+		for _, f := range pkg.Files {
+			var srcLines []string // lazily loaded; nil until first directive
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//"+DirectiveIgnore)
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					if srcLines == nil {
+						src, err := os.ReadFile(pos.Filename)
+						if err != nil {
+							continue // unreadable source: no directives from it
+						}
+						srcLines = strings.Split(string(src), "\n")
+					}
+					s := parseSuppression(pos, text)
+					s.line = coveredLine(srcLines, pos)
+					set.all = append(set.all, s)
+					lines := set.byLine[s.file]
+					if lines == nil {
+						lines = map[int][]*suppression{}
+						set.byLine[s.file] = lines
+					}
+					lines[s.line] = append(lines[s.line], s)
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseSuppression splits "//scg:ignore <rules> -- <reason>" (text is
+// everything after the directive name).
+func parseSuppression(pos token.Position, text string) *suppression {
+	s := &suppression{pos: pos, file: pos.Filename}
+	body, ok := strings.CutPrefix(text, " ")
+	if !ok && text != "" {
+		s.bad = "malformed //scg:ignore: expected a space after the directive name"
+		return s
+	}
+	rulesPart, reason, found := strings.Cut(body, " -- ")
+	if !found {
+		s.bad = "suppression without a reason: write //scg:ignore <rule> -- <reason>"
+		return s
+	}
+	fields := strings.Fields(rulesPart)
+	if len(fields) != 1 {
+		s.bad = "suppression must name exactly one comma-separated rule list before ' -- '"
+		return s
+	}
+	for _, r := range strings.Split(fields[0], ",") {
+		if r != "" {
+			s.rules = append(s.rules, r)
+		}
+	}
+	if len(s.rules) == 0 {
+		s.bad = "suppression names no rules"
+		return s
+	}
+	if strings.TrimSpace(reason) == "" {
+		s.bad = "suppression without a reason: write //scg:ignore <rule> -- <reason>"
+	}
+	return s
+}
+
+// coveredLine decides which source line a directive at pos covers: its
+// own line when code precedes it (trailing comment), the next line
+// when it stands alone.
+func coveredLine(srcLines []string, pos token.Position) int {
+	if pos.Line-1 < len(srcLines) {
+		before := srcLines[pos.Line-1]
+		if pos.Column-1 <= len(before) && strings.TrimSpace(before[:pos.Column-1]) == "" {
+			return pos.Line + 1
+		}
+	}
+	return pos.Line
+}
+
+// apply drops every finding covered by a valid suppression naming its
+// rule, marking those suppressions used.
+func (s *suppressionSet) apply(fs []Finding) []Finding {
+	out := fs[:0]
+	for _, f := range fs {
+		if !s.match(f.Pos.Filename, f.Pos.Line, f.Rule) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// match reports whether a valid directive covering (file, line) names
+// rule, marking it used.
+func (s *suppressionSet) match(file string, line int, rule string) bool {
+	matched := false
+	for _, sup := range s.byLine[file][line] {
+		if sup.bad != "" {
+			continue
+		}
+		for _, r := range sup.rules {
+			if r == rule {
+				sup.used = true
+				matched = true
+			}
+		}
+	}
+	return matched
+}
+
+// hygiene reports the directive problems of the analyzed files:
+// malformed or reasonless directives, unknown rule names, and valid
+// directives that matched nothing.  Only meaningful after apply has
+// run over the full rule set.
+func (s *suppressionSet) hygiene(r *Run) []Finding {
+	known := map[string]bool{}
+	for _, name := range RuleNames() {
+		known[name] = true
+	}
+	var out []Finding
+	for _, sup := range s.all {
+		if !s.analyzed[sup.file] {
+			continue
+		}
+		if sup.bad != "" {
+			out = append(out, Finding{Rule: SuppressionRule, Pos: sup.pos, Msg: sup.bad,
+				Hint: "//scg:ignore <rule>[,<rule>] -- <reason>"})
+			continue
+		}
+		bogus := false
+		for _, name := range sup.rules {
+			if !known[name] {
+				bogus = true
+				out = append(out, Finding{Rule: SuppressionRule, Pos: sup.pos,
+					Msg:  fmt.Sprintf("suppression names unknown rule %q", name),
+					Hint: "known rules: " + strings.Join(RuleNames(), ", ")})
+			}
+		}
+		if !bogus && !sup.used {
+			out = append(out, Finding{Rule: SuppressionRule, Pos: sup.pos,
+				Msg:  fmt.Sprintf("unused suppression for %s: no finding on line %d matched", strings.Join(sup.rules, ","), sup.line),
+				Hint: "delete the stale //scg:ignore directive"})
+		}
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+// Package atomic_bad mixes plain and atomic access of the same words
+// — the silent data race the atomic-hygiene rule exists for.
+package atomic_bad
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64
+	hits atomic.Int64
+}
+
+var global uint64
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddUint64(&global, 1)
+}
+
+func (c *counter) read() uint64 {
+	return c.n // want atomic-hygiene
+}
+
+func (c *counter) copyTyped() int64 {
+	snapshot := c.hits // want atomic-hygiene
+	return snapshot.Load()
+}
+
+func resetGlobal() {
+	global = 0 // want atomic-hygiene
+}

@@ -1,0 +1,35 @@
+// Package atomic_ok keeps atomically-published words atomic
+// everywhere, and demonstrates the deliberate exemptions: typed
+// atomics through their methods, locals, and address-taking.
+package atomic_ok
+
+import "sync/atomic"
+
+type gauge struct {
+	bits uint64
+	live atomic.Int64
+}
+
+var flips uint64
+
+func (g *gauge) set(v uint64) {
+	atomic.StoreUint64(&g.bits, v)
+	atomic.AddUint64(&flips, 1)
+	g.live.Add(1)
+}
+
+func (g *gauge) get() uint64 {
+	return atomic.LoadUint64(&g.bits)
+}
+
+func localJoin() int64 {
+	var n atomic.Int64
+	n.Add(2)
+	return n.Load()
+}
+
+func construct(v uint64) *gauge {
+	g := &gauge{}
+	atomic.StoreUint64(&g.bits, v)
+	return g
+}

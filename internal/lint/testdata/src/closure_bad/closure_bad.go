@@ -1,0 +1,17 @@
+// Package closure_bad lets an annotated kernel reach unannotated
+// helpers: the shallow rule flags the first call, the closure rule
+// pins every transitively reachable declaration.
+package closure_bad
+
+//scg:noalloc
+func kernel(x int) int {
+	return step(x) + 1 // want noalloc
+}
+
+func step(x int) int { // want noalloc-closure
+	return leaf(x) * 2
+}
+
+func leaf(x int) int { // want noalloc-closure
+	return x + 3
+}

@@ -1,0 +1,19 @@
+// Package closure_ok satisfies the transitive noalloc obligation the
+// two legitimate ways: annotating the reachable chain, and cutting a
+// deliberate cold edge with a reasoned suppression.
+package closure_ok
+
+//scg:noalloc
+func kernel(x int) int {
+	if x < 0 {
+		return cold(x) //scg:ignore noalloc,noalloc-closure -- cold path: the fixture cuts the closure at its entry edge
+	}
+	return warm(x)
+}
+
+//scg:noalloc
+func warm(x int) int { return x + 1 }
+
+func cold(x int) int {
+	return make([]int, x+1)[0]
+}

@@ -1,0 +1,17 @@
+// Package ignore_bad exercises every suppression-hygiene finding: a
+// directive without a reason (which suppresses nothing), an unknown
+// rule name, and a stale directive matching no finding.
+package ignore_bad
+
+//scg:noalloc
+func reasonless(k int) []int {
+	return make([]int, k) //scg:ignore noalloc // want noalloc // want suppression
+}
+
+//scg:ignore no-such-rule -- the rule name is wrong // want suppression
+func mystery() {}
+
+//scg:noalloc
+func stale() int {
+	return 1 //scg:ignore noalloc -- nothing on this line allocates // want suppression
+}

@@ -1,0 +1,8 @@
+// Package ignore_ok silences a deliberate finding with a reasoned
+// suppression: the run is clean and the directive counts as used.
+package ignore_ok
+
+//scg:noalloc
+func pad(k int) []int {
+	return make([]int, k) //scg:ignore noalloc -- fixture: a deliberate allocation silenced with a recorded reason
+}

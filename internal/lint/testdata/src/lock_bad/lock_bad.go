@@ -1,0 +1,62 @@
+// Package lock_bad holds locks wrong in every way the lock-hygiene
+// rule covers: leaking on a path, re-locking, and blocking while
+// held.
+package lock_bad
+
+import (
+	"os"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+	n  int
+}
+
+func (b *box) leak(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		return b.n // want lock-hygiene
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func (b *box) relock() {
+	b.mu.Lock()
+	b.mu.Lock() // want lock-hygiene
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func (b *box) sendHeld(v int) {
+	b.mu.Lock()
+	b.ch <- v // want lock-hygiene
+	b.mu.Unlock()
+}
+
+func (b *box) recvHeld() int {
+	b.rw.RLock()
+	v := <-b.ch // want lock-hygiene
+	b.rw.RUnlock()
+	return v
+}
+
+func (b *box) waitHeld() {
+	b.mu.Lock()
+	b.wg.Wait() // want lock-hygiene
+	b.mu.Unlock()
+}
+
+func (b *box) blockingCallHeld() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return os.Setenv("fixture_lock_bad", "v") // want lock-hygiene
+}
+
+func (b *box) fallsOff() { // want lock-hygiene
+	b.mu.Lock()
+}

@@ -4,7 +4,7 @@ package noalloc_bad
 
 import "fmt"
 
-func helper() int { return 1 }
+func helper() int { return 1 } // want noalloc-closure
 
 //scg:noalloc
 func done() {}

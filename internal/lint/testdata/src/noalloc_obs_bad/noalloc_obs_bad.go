@@ -18,7 +18,7 @@ func snapshotOnHotPath(t *obs.RouteTracer) int {
 
 //scg:noalloc
 func registerOnHotPath() *obs.Counter {
-	return obs.Default.Counter("fixture_obs_bad_total", "h") // want noalloc
+	return obs.Default.Counter("fixture_obs_bad_total", "h") // want noalloc // want obs-discipline
 }
 
 //scg:noalloc

@@ -1,0 +1,24 @@
+// Package obsdiscipline_bad registers metrics every disallowed way:
+// on a hot path, twice, under a malformed name, under a dynamic name,
+// and inside a callback.  (Fixtures are type-checked, never run, so
+// the registry's own runtime panics stay dormant.)
+package obsdiscipline_bad
+
+import "supercayley/internal/obs"
+
+var hotName = "fixture_obsdiscipline_dynamic"
+
+func handle() {
+	obs.Default.Counter("fixture_obsdiscipline_hot_total", "h") // want obs-discipline
+}
+
+func init() {
+	obs.Default.Gauge("fixture_obsdiscipline_dup", "h")
+	obs.Default.Gauge("fixture_obsdiscipline_dup", "h") // want obs-discipline
+	obs.Default.Counter("FixtureBadName", "h")          // want obs-discipline
+	obs.Default.Counter(hotName, "h")                   // want obs-discipline
+	obs.Default.GaugeFunc("fixture_obsdiscipline_g", "h", func() float64 {
+		obs.Default.Counter("fixture_obsdiscipline_closure_total", "h") // want obs-discipline
+		return 0
+	})
+}

@@ -1,0 +1,21 @@
+// Package obsdiscipline_ok registers at startup only, under constant
+// snake_case names: package-level vars, init, and constructors.
+package obsdiscipline_ok
+
+import "supercayley/internal/obs"
+
+const histName = "fixture_obsdiscipline_ok_hist"
+
+var mGood = obs.Default.Counter("fixture_obsdiscipline_ok_total", "h")
+
+var hGood = obs.Default.Pow2Hist(histName, "h")
+
+type server struct{ c *obs.Counter }
+
+func NewServer() *server {
+	return &server{c: obs.Default.Counter("fixture_obsdiscipline_ok_srv_total", "h")}
+}
+
+func init() {
+	obs.Default.GaugeFunc("fixture_obsdiscipline_ok_gauge", "h", func() float64 { return 1 })
+}

@@ -76,7 +76,10 @@ func NewRouteTracer(capacity int, interval uint64, seed uint64) *RouteTracer {
 		panic("obs: RouteTracer needs capacity ≥ 1")
 	}
 	t := &RouteTracer{ring: make([]traceSlot, capacity)}
-	t.seed = seed
+	// The seed field is atomically published (SetSeed/Sampled); write
+	// it the same way even here, before the tracer escapes — mixing a
+	// plain store in would be the exact race atomic-hygiene flags.
+	t.SetSeed(seed)
 	t.SetSampling(interval)
 	return t
 }

@@ -98,6 +98,8 @@ func (p Perm) Clone() Perm {
 }
 
 // Equal reports whether p and q are the same permutation.
+//
+//scg:noalloc
 func (p Perm) Equal(q Perm) bool {
 	if len(p) != len(q) {
 		return false

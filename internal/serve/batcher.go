@@ -111,6 +111,8 @@ func (j *Job) AddPair(src, dst int64) {
 }
 
 // Pairs returns the number of pairs the job carries.
+//
+//scg:noalloc
 func (j *Job) Pairs() int { return len(j.srcs) }
 
 // Lens returns the per-pair route lengths of a completed job (owned
@@ -198,19 +200,26 @@ func (b *Batcher) Release(j *Job) { b.pool.Put(j) }
 // returning nil with the results in j.Lens/j.Steps, or an admission
 // error (ErrQueueFull, ErrDraining, ErrRankRange, ...) with the job
 // untouched and still caller-owned.
+//
+// The admitted path (validate → try-send → wait) is the alloc-free
+// steady state TestSubmitWarmAllocFree pins; //scg:noalloc makes the
+// same claim statically, with the rejection branches suppressed by
+// design.
+//
+//scg:noalloc
 func (b *Batcher) Submit(j *Job) error {
 	if len(j.srcs) != len(j.dsts) {
-		return fmt.Errorf("serve: job has %d srcs but %d dsts", len(j.srcs), len(j.dsts))
+		return fmt.Errorf("serve: job has %d srcs but %d dsts", len(j.srcs), len(j.dsts)) //scg:ignore noalloc -- cold rejection path: a malformed job may format its error
 	}
 	if len(j.srcs) == 0 {
 		return ErrEmptyJob
 	}
 	if len(j.srcs) > b.cfg.MaxBulk {
-		return fmt.Errorf("%w (%d > %d)", ErrTooLarge, len(j.srcs), b.cfg.MaxBulk)
+		return fmt.Errorf("%w (%d > %d)", ErrTooLarge, len(j.srcs), b.cfg.MaxBulk) //scg:ignore noalloc -- cold rejection path: an oversized job may format its error
 	}
 	for i := range j.srcs {
 		if j.srcs[i] < 0 || j.srcs[i] >= b.n || j.dsts[i] < 0 || j.dsts[i] >= b.n {
-			return fmt.Errorf("%w: pair %d (%d, %d) outside [0, %d)", ErrRankRange, i, j.srcs[i], j.dsts[i], b.n)
+			return fmt.Errorf("%w: pair %d (%d, %d) outside [0, %d)", ErrRankRange, i, j.srcs[i], j.dsts[i], b.n) //scg:ignore noalloc -- cold rejection path: an out-of-range pair may format its error
 		}
 	}
 	j.enq = time.Now()
@@ -307,7 +316,10 @@ func (b *Batcher) worker(slot int) {
 // flush concatenates the batch, routes it in one RouteManyInto call,
 // splits the flat result back into the per-job buffers, and wakes
 // every submitter.  It returns the (possibly regrown) concatenation
-// buffers for reuse.
+// buffers for reuse.  Steady state reuses every buffer — the other
+// half of the enqueue→flush cycle TestSubmitWarmAllocFree pins.
+//
+//scg:noalloc
 func (b *Batcher) flush(slot int, batch []*Job, srcs, dsts []int64, out *core.BulkRoutes) ([]int64, []int64) {
 	now := time.Now()
 	srcs, dsts = srcs[:0], dsts[:0]
@@ -319,7 +331,7 @@ func (b *Batcher) flush(slot int, batch []*Job, srcs, dsts []int64, out *core.Bu
 		hQueueWaitNs.Observe(slot, uint64(now.Sub(j.enq)))
 	}
 	b.queuedPairs.Add(-int64(pairs))
-	err := b.router.RouteManyInto(out, srcs, dsts)
+	err := b.router.RouteManyInto(out, srcs, dsts) //scg:ignore noalloc -- interface call lint cannot see through: every core.Router's warm RouteManyInto is alloc-free, pinned by the CI alloc guards
 	mBatches.IncAt(slot)
 	hBatchPairs.Observe(slot, uint64(pairs))
 	off := 0

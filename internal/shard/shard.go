@@ -244,9 +244,15 @@ func splitmix64(x uint64) uint64 {
 // CachedRouter.AppendRouteRanks by construction — every tier replays
 // the same greedy factorization, and the route for a pair depends
 // only on its quotient.
+//
+// The warm path (dispatch → cache hit) is the alloc-free steady state
+// TestDispatchWarmAllocFree pins; //scg:noalloc makes the same claim
+// statically, with the two cold branches suppressed by design.
+//
+//scg:noalloc
 func (e *Engine) AppendRouteRanks(dst []gens.GenIndex, src, dstRank int64) ([]gens.GenIndex, error) {
 	if src < 0 || src >= e.n || dstRank < 0 || dstRank >= e.n {
-		return dst, fmt.Errorf("shard: rank pair (%d, %d) out of range [0, %d)", src, dstRank, e.n)
+		return dst, fmt.Errorf("shard: rank pair (%d, %d) out of range [0, %d)", src, dstRank, e.n) //scg:ignore noalloc -- cold rejection path: a malformed pair may format its error
 	}
 	key := uint64(src)*uint64(e.n) + uint64(dstRank)
 	wk := e.workerOf(key)
@@ -257,7 +263,7 @@ func (e *Engine) AppendRouteRanks(dst []gens.GenIndex, src, dstRank int64) ([]ge
 		mCacheServed.IncAt(wk.id)
 		return out, nil
 	}
-	return wk.appendCold(e, dst, key, src, dstRank), nil
+	return wk.appendCold(e, dst, key, src, dstRank), nil //scg:ignore noalloc -- cold miss path: appendCold promotes into the cache and allocates by design
 }
 
 // appendCold resolves a cache miss: the shared dense fast lane serves
