@@ -55,9 +55,17 @@ go test -race -count=2 ./internal/sim/...
 
 # The telemetry registry is written from every routing worker at once;
 # hammer its concurrent counters/snapshots specifically (monotonicity
-# and byte-identical quiesced snapshots live in TestConcurrentHammer).
+# and byte-identical quiesced snapshots live in TestConcurrentHammer,
+# and the flight recorder's ring writers race its snapshot readers in
+# TestFlightConcurrentHammer).
 echo "== go test -race ./internal/obs (telemetry layer)"
 go test -race -count=2 ./internal/obs
+
+# Flight-recorder alloc guard: a full Begin → Mark → Finish journey,
+# retain copy included, must stay at AllocsPerRun == 0 (tagged !race —
+# the race runtime's instrumented atomics allocate).
+echo "== flight recorder alloc guard"
+go test -run='AllocFree$' ./internal/obs
 
 # The serve batching pipeline races Submit against Close by design;
 # hammer the differential, drain, and backpressure suite under the
@@ -152,6 +160,23 @@ grep -q '^scg_route_cache_hits_total ' "$tmpdir/metrics.txt" || {
 }
 grep -q '^scg_serve_bulk_requests_total 1' "$tmpdir/metrics.txt" || {
     echo "/metrics did not count the bulk request" >&2
+    exit 1
+}
+grep -q '^scg_stage_decode_ns_count ' "$tmpdir/metrics.txt" || {
+    echo "/metrics is missing the per-stage histograms (scg_stage_decode_ns)" >&2
+    exit 1
+}
+# The flight recorder retains the requests just routed (the window
+# tail is not yet full): /trace/requests must be a non-empty journey
+# array and /trace/chrome a non-empty Chrome trace-event document.
+curl -fsS "http://$addr/trace/requests" >"$tmpdir/trace.json"
+jq -e 'type == "array" and length > 0 and (.[0] | has("spans"))' "$tmpdir/trace.json" >/dev/null || {
+    echo "/trace/requests is not a non-empty journey array: $(cat "$tmpdir/trace.json")" >&2
+    exit 1
+}
+curl -fsS "http://$addr/trace/chrome" >"$tmpdir/chrome.json"
+jq -e '.traceEvents | length > 0' "$tmpdir/chrome.json" >/dev/null || {
+    echo "/trace/chrome is not a non-empty trace-event document: $(cat "$tmpdir/chrome.json")" >&2
     exit 1
 }
 curl -fsS -o /dev/null "http://$addr/debug/pprof/cmdline" || {

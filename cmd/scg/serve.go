@@ -22,7 +22,9 @@ import (
 
 	"supercayley/internal/comm"
 	"supercayley/internal/core"
+	"supercayley/internal/gens"
 	"supercayley/internal/obs"
+	"supercayley/internal/perm"
 	"supercayley/internal/serve"
 	"supercayley/internal/shard"
 	"supercayley/internal/sim"
@@ -59,6 +61,24 @@ func newServeMux() *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(append(blob, '\n'))
 	})
+	mux.HandleFunc("/trace/requests", func(w http.ResponseWriter, _ *http.Request) {
+		events := obs.Flight.Snapshot()
+		if events == nil {
+			events = []obs.JourneyEvent{} // render an empty recorder as [], not null
+		}
+		blob, err := json.MarshalIndent(events, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(blob, '\n'))
+	})
+	mux.HandleFunc("/trace/chrome", func(w http.ResponseWriter, _ *http.Request) {
+		// Chrome trace-event format: load in chrome://tracing or Perfetto.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(obs.Flight.ChromeTrace())
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -81,30 +101,54 @@ func routeWorkload(nw *core.Network, pairs int, seed int64, skew float64) (sim.T
 	return sim.Throughput(nt, engine.AppendRoute, wl)
 }
 
+// routeRankWorkload routes a seeded zipfian workload through a fresh
+// cached router by Lehmer rank — the rank-addressed entry point is the
+// one that samples the deep stage timers (cache hit, table walk,
+// kernel), so `scg stats -stages` has a breakdown to print.
+func routeRankWorkload(nw *core.Network, pairs int, seed int64, skew float64) (float64, error) {
+	cr := core.NewCachedRouter(nw, core.CacheConfig{})
+	nodes := perm.Factorial(nw.K())
+	wl := sim.ZipfWorkload(int(nodes), pairs, seed, skew)
+	var buf []gens.GenIndex
+	t0 := time.Now()
+	for i := 0; i < wl.Pairs(); i++ {
+		var err error
+		buf, err = cr.AppendRouteRanks(buf[:0], int64(wl.Srcs[i]), int64(wl.Dsts[i]))
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(wl.Pairs()) / time.Since(t0).Seconds(), nil
+}
+
 // serveFlags bundles the routing-service knobs of `scg serve` so the
 // flag roster stays testable (the cmd drift test walks this
 // function's AST).
 type serveFlags struct {
-	batch     *int
-	maxWait   *time.Duration
-	queue     *int
-	workers   *int
-	maxBulk   *int
-	rate      *float64
-	burst     *float64
-	drainWait *time.Duration
+	batch        *int
+	maxWait      *time.Duration
+	queue        *int
+	workers      *int
+	maxBulk      *int
+	rate         *float64
+	burst        *float64
+	drainWait    *time.Duration
+	slo          *time.Duration
+	sloObjective *float64
 }
 
 func addServeFlags(fs *flag.FlagSet) *serveFlags {
 	return &serveFlags{
-		batch:     fs.Int("batch", 512, "flush a batch when its pair count reaches this"),
-		maxWait:   fs.Duration("max-wait", 250*time.Microsecond, "flush a non-empty batch when its oldest job has waited this long"),
-		queue:     fs.Int("queue", 1024, "bounded intake queue capacity in jobs (full queue answers 429)"),
-		workers:   fs.Int("route-workers", 0, "flush workers draining the batch queue (0 = GOMAXPROCS)"),
-		maxBulk:   fs.Int("max-bulk", 65536, "largest pair count one bulk request may carry"),
-		rate:      fs.Float64("rate", 0, "per-client admission rate in pairs/sec (0 = no admission control)"),
-		burst:     fs.Float64("burst", 0, "per-client token-bucket burst in pairs (0 = one second of -rate)"),
-		drainWait: fs.Duration("drain-wait", 5*time.Second, "graceful-shutdown budget for in-flight requests on SIGINT/SIGTERM"),
+		batch:        fs.Int("batch", 512, "flush a batch when its pair count reaches this"),
+		maxWait:      fs.Duration("max-wait", 250*time.Microsecond, "flush a non-empty batch when its oldest job has waited this long"),
+		queue:        fs.Int("queue", 1024, "bounded intake queue capacity in jobs (full queue answers 429)"),
+		workers:      fs.Int("route-workers", 0, "flush workers draining the batch queue (0 = GOMAXPROCS)"),
+		maxBulk:      fs.Int("max-bulk", 65536, "largest pair count one bulk request may carry"),
+		rate:         fs.Float64("rate", 0, "per-client admission rate in pairs/sec (0 = no admission control)"),
+		burst:        fs.Float64("burst", 0, "per-client token-bucket burst in pairs (0 = one second of -rate)"),
+		drainWait:    fs.Duration("drain-wait", 5*time.Second, "graceful-shutdown budget for in-flight requests on SIGINT/SIGTERM"),
+		slo:          fs.Duration("slo", 5*time.Millisecond, "request-latency SLO target backing the scg_slo_* burn-rate gauges (0 disables)"),
+		sloObjective: fs.Float64("slo-objective", 0.99, "fraction of requests that must meet -slo (error budget = 1 - objective)"),
 	}
 }
 
@@ -228,6 +272,16 @@ func cmdServe(args []string) error {
 	if router == nil {
 		router = core.NewCachedRouter(nw, core.CacheConfig{})
 	}
+	// Rolling-window telemetry: the window ring's ticker feeds the
+	// stage and SLO gauges; the SLO itself is optional (-slo 0).
+	if *sf.slo > 0 {
+		obs.NewSLO(obs.Default, obs.Windows, obs.SLOConfig{
+			Hist:      "scg_serve_request_ns",
+			LatencyNs: uint64(*sf.slo),
+			Objective: *sf.sloObjective,
+		})
+	}
+	obs.Windows.Start()
 	svc := serve.NewService(router, sf.serviceConfig())
 	mux := newServeMux()
 	svc.RegisterOn(mux)
@@ -241,7 +295,7 @@ func cmdServe(args []string) error {
 	} else {
 		fmt.Printf("scg serve: routing %s, listening on http://%s\n", nw.Name(), ln.Addr())
 	}
-	fmt.Println("scg serve: endpoints: /route /route/bulk /metrics /metrics.json /trace/routes /debug/vars /debug/pprof/")
+	fmt.Println("scg serve: endpoints: /route /route/bulk /metrics /metrics.json /trace/routes /trace/requests /trace/chrome /debug/vars /debug/pprof/")
 
 	// Graceful drain: on SIGINT/SIGTERM stop accepting connections,
 	// let in-flight requests finish within -drain-wait, then drain the
@@ -283,7 +337,25 @@ func cmdStats(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	skew := fs.Float64("skew", 1.2, "zipf exponent (> 1)")
 	format := fs.String("format", "prom", "dump format: prom or json")
+	stages := fs.Bool("stages", false, "print the per-stage latency breakdown instead of the metric dump (routes by rank so the sampled deep-stage timers fire)")
 	fs.Parse(args)
+	if *stages {
+		if *pairs > 0 {
+			nw, err := nf.network()
+			if err != nil {
+				return err
+			}
+			pps, err := routeRankWorkload(nw, *pairs, *seed, *skew)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "scg stats: routed %d rank pairs on %s (%.0f pairs/s)\n",
+				*pairs, nw.Name(), pps)
+		}
+		snap := obs.Default.Snapshot()
+		fmt.Print("stage breakdown (cumulative):\n" + obs.FormatStageTable(obs.StageBreakdown(nil, &snap)))
+		return nil
+	}
 	if *pairs > 0 {
 		nw, err := nf.network()
 		if err != nil {
@@ -346,6 +418,10 @@ func cmdBenchObs(args []string) error {
 	fmt.Printf("  obs disabled: %12.0f pairs/s\n", rep.DisabledPairsPerSec)
 	fmt.Printf("  obs enabled:  %12.0f pairs/s\n", rep.EnabledPairsPerSec)
 	fmt.Printf("  overhead:     %.2f%% (budget < 2%%)\n", rep.OverheadPct)
+	fmt.Printf("flight recorder bracket (batched rank routing, %d-pair journeys):\n", 512)
+	fmt.Printf("  recorder off: %12.0f pairs/s\n", rep.RecorderOffPairsPerSec)
+	fmt.Printf("  recorder on:  %12.0f pairs/s\n", rep.RecorderOnPairsPerSec)
+	fmt.Printf("  overhead:     %.2f%% (budget < 2%%)\n", rep.RecorderOverheadPct)
 	if *out != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -18,6 +19,7 @@ import (
 	"testing"
 
 	"supercayley/internal/core"
+	"supercayley/internal/obs"
 	"supercayley/internal/serve"
 )
 
@@ -75,7 +77,7 @@ func flagRegistrations(t *testing.T, file, fn string) map[string]string {
 // non-empty usage string, and nothing unexpected may creep in.
 func TestServeFlagRoster(t *testing.T) {
 	flags := flagRegistrations(t, "serve.go", "addServeFlags")
-	want := []string{"batch", "max-wait", "queue", "route-workers", "max-bulk", "rate", "burst", "drain-wait"}
+	want := []string{"batch", "max-wait", "queue", "route-workers", "max-bulk", "rate", "burst", "drain-wait", "slo", "slo-objective"}
 	for _, name := range want {
 		usage, ok := flags[name]
 		if !ok {
@@ -140,6 +142,25 @@ func TestLoadtestFlagRoster(t *testing.T) {
 	}
 }
 
+// TestStatsFlagRoster pins cmdStats's own knobs (-stages included)
+// with the same exact-roster discipline; the shared network flags live
+// in addNetFlags and are rostered elsewhere.
+func TestStatsFlagRoster(t *testing.T) {
+	flags := flagRegistrations(t, "serve.go", "cmdStats")
+	want := []string{"pairs", "seed", "skew", "format", "stages"}
+	for _, name := range want {
+		usage, ok := flags[name]
+		if !ok {
+			t.Errorf("cmdStats no longer registers -%s", name)
+		} else if usage == "" {
+			t.Errorf("-%s has an empty usage string", name)
+		}
+	}
+	if len(flags) != len(want) {
+		t.Errorf("cmdStats registers %d flags, roster lists %d — update the roster test", len(flags), len(want))
+	}
+}
+
 // TestServeMuxRouteEndpoints drives /route and /route/bulk through
 // the mux cmdServe binds — the same wiring, minus the listener — and
 // checks the routes against the direct router.
@@ -196,5 +217,81 @@ func TestServeMuxRouteEndpoints(t *testing.T) {
 	mresp.Body.Close()
 	if !bytes.Contains(metrics, []byte("scg_serve_bulk_requests_total")) {
 		t.Error("/metrics does not expose the serve request counters")
+	}
+}
+
+// TestServeMuxTraceEndpoints drives traffic through the mux with the
+// flight recorder sampling every journey, then checks /trace/requests
+// returns valid journey JSON whose spans tile each journey's wall time
+// and /trace/chrome returns a valid Chrome trace-event document.
+func TestServeMuxTraceEndpoints(t *testing.T) {
+	nw, err := core.New(core.MS, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.NewService(core.NewCachedRouter(nw, core.CacheConfig{}), serve.ServiceConfig{})
+	mux := newServeMux()
+	svc.RegisterOn(mux)
+	srv := httptest.NewServer(mux)
+	defer func() { srv.Close(); svc.Drain() }()
+
+	obs.Flight.SetSampling(1) // retain every journey for the assertion
+	defer obs.Flight.SetSampling(64)
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(srv.URL+"/route/bulk", "application/json",
+			bytes.NewReader([]byte(`{"srcs": [5, 7], "dsts": [99, 3]}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /route/bulk: status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/trace/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace/requests: status %d", resp.StatusCode)
+	}
+	var journeys []obs.JourneyEvent
+	if err := json.Unmarshal(body, &journeys); err != nil {
+		t.Fatalf("/trace/requests is not a journey array: %v\n%s", err, body)
+	}
+	sawBulk := false
+	for _, j := range journeys {
+		if j.Kind != "bulk" || j.Truncated {
+			continue
+		}
+		sawBulk = true
+		var sum int64
+		for _, sp := range j.Spans {
+			sum += sp.DurNs
+		}
+		if sum != j.TotalNs {
+			t.Errorf("journey %d: spans sum to %dns, total is %dns — spans must tile the journey",
+				j.ID, sum, j.TotalNs)
+		}
+	}
+	if !sawBulk {
+		t.Error("/trace/requests retained no bulk journeys despite 1-in-1 sampling")
+	}
+
+	cresp, err := http.Get(srv.URL + "/trace/chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	if !json.Valid(chrome) {
+		t.Errorf("/trace/chrome is not valid JSON: %.200s", chrome)
+	}
+	if !bytes.Contains(chrome, []byte(`"traceEvents"`)) {
+		t.Errorf("/trace/chrome lacks the traceEvents envelope: %.200s", chrome)
 	}
 }

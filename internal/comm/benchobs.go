@@ -18,6 +18,16 @@ import (
 	"supercayley/internal/sim"
 )
 
+// stBench is the journey stage the recorder bracket marks: each timed
+// batch is one synthetic journey whose single span covers the
+// RouteManyInto call, exercising Begin/Mark/Finish at batch cadence.
+var stBench = obs.NewStage("bench_route_window")
+
+// benchObsBatch is the pairs per synthetic journey in the recorder
+// bracket — the serve pipeline's default flush size, and under core's
+// sequential-flush cutoff so the batch routes inline.
+const benchObsBatch = 512
+
 // ObsBenchConfig parameterizes BenchObs.  The zero value is filled
 // with the defaults noted per field.
 type ObsBenchConfig struct {
@@ -79,6 +89,13 @@ type ObsBenchReport struct {
 	EnabledPairsPerSec  float64         `json:"enabled_pairs_per_sec"`
 	OverheadPct         float64         `json:"overhead_pct"`
 	Entries             []ObsBenchRound `json:"entries"`
+
+	// Flight-recorder bracket: the same warm workload routed in
+	// batch-sized journeys (one Begin/Mark/Finish per benchObsBatch
+	// pairs) with the recorder and the sampled stage timers off vs on.
+	RecorderOffPairsPerSec float64 `json:"recorder_off_pairs_per_sec"`
+	RecorderOnPairsPerSec  float64 `json:"recorder_on_pairs_per_sec"`
+	RecorderOverheadPct    float64 `json:"recorder_overhead_pct"`
 }
 
 // BenchObs measures the cost of the always-on telemetry on the warm
@@ -147,6 +164,73 @@ func BenchObs(cfg ObsBenchConfig) (*ObsBenchReport, error) {
 	rep.EnabledPairsPerSec = best["enabled"]
 	if rep.DisabledPairsPerSec > 0 {
 		rep.OverheadPct = (1 - rep.EnabledPairsPerSec/rep.DisabledPairsPerSec) * 100
+	}
+
+	// Flight-recorder bracket: route the same warm workload by rank in
+	// batch-sized synthetic journeys — both sides run the identical
+	// Begin/Mark/Finish sequence, the off side with the recorder and the
+	// sampled deep-stage timers disabled, so the delta is exactly what
+	// turning the recorder on costs the serving pipeline.
+	srcs64 := make([]int64, wl.Pairs())
+	dsts64 := make([]int64, wl.Pairs())
+	for i := range srcs64 {
+		srcs64[i] = int64(wl.Srcs[i])
+		dsts64[i] = int64(wl.Dsts[i])
+	}
+	cr := engine.CachedRouter()
+	out := &core.BulkRoutes{}
+	routeBatched := func() (ObsBenchRound, error) {
+		t0 := time.Now()
+		for off := 0; off < len(srcs64); off += benchObsBatch {
+			hi := off + benchObsBatch
+			if hi > len(srcs64) {
+				hi = len(srcs64)
+			}
+			var jny obs.Journey
+			obs.Flight.Begin(&jny, obs.JourneyOther)
+			if err := cr.RouteManyInto(out, srcs64[off:hi], dsts64[off:hi]); err != nil {
+				return ObsBenchRound{}, err
+			}
+			jny.Mark(stBench)
+			jny.SetPairs(hi - off)
+			obs.Flight.Finish(&jny)
+		}
+		sec := time.Since(t0).Seconds()
+		return ObsBenchRound{Seconds: sec, PairsPerSec: float64(len(srcs64)) / sec}, nil
+	}
+	// One untimed pass fills the rank-addressed cache entries the perm
+	// warm-up did not touch.
+	if _, err := routeBatched(); err != nil {
+		return nil, err
+	}
+	recModes := []struct {
+		name string
+		on   bool
+	}{{"recorder_off", false}, {"recorder_on", true}}
+	defer obs.SetStageTiming(true)
+	defer obs.Flight.SetEnabled(true)
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, mode := range recModes {
+			runtime.GC()
+			obs.SetStageTiming(mode.on)
+			obs.Flight.SetEnabled(mode.on)
+			entry, err := routeBatched()
+			obs.SetStageTiming(true)
+			obs.Flight.SetEnabled(true)
+			if err != nil {
+				return nil, err
+			}
+			entry.Mode, entry.Round = mode.name, round
+			rep.Entries = append(rep.Entries, entry)
+			if entry.PairsPerSec > best[mode.name] {
+				best[mode.name] = entry.PairsPerSec
+			}
+		}
+	}
+	rep.RecorderOffPairsPerSec = best["recorder_off"]
+	rep.RecorderOnPairsPerSec = best["recorder_on"]
+	if rep.RecorderOffPairsPerSec > 0 {
+		rep.RecorderOverheadPct = (1 - rep.RecorderOnPairsPerSec/rep.RecorderOffPairsPerSec) * 100
 	}
 	return rep, nil
 }

@@ -81,6 +81,17 @@ var (
 		"routes served by the precomputed quotient table ahead of the LRU")
 )
 
+// Pipeline stages of the deep routing path, timed for route-trace
+// sampled pairs (see RouteScratch.timed).  Exported so the shard
+// engine attributes its per-worker cache and kernel time to the same
+// stages.
+var (
+	StageCacheHit  = obs.NewStage("route_cache_hit")
+	StageCacheMiss = obs.NewStage("route_cache_miss")
+	StageTableWalk = obs.NewStage("table_walk")
+	StageKernel    = obs.NewStage("route_kernel")
+)
+
 // liveCaches is the roster the cache collectors aggregate over; every
 // RouteCache registers itself at construction.
 var liveCaches struct {

@@ -59,6 +59,7 @@ func TestAnnotationsIndexed(t *testing.T) {
 		"Get", "get", "shardOf", "moveToFront", "unlink", "pushFront", // core cache warm hit
 		"appendDense",                                     // tables lookup loop
 		"AddAt", "IncAt", "Observe", "Enabled", "Sampled", // obs hot half
+		"NowNs", "Mark", "Begin", "Finish", "tailNote", "retain", // flight recorder warm half
 		"AppendRouteRanks", "workerOf", // shard warm dispatch
 		"Submit", "flush", "Pairs", // serve enqueue→flush cycle
 	}

@@ -51,11 +51,14 @@ var noallocRoster = map[string]bool{
 	"math/bits.LeadingZeros64":  true,
 
 	// Typed-atomic methods: same single instructions behind a struct.
-	"(*sync/atomic.Int64).Add":    true,
-	"(*sync/atomic.Int64).Load":   true,
-	"(*sync/atomic.Uint64).Add":   true,
-	"(*sync/atomic.Uint64).Load":  true,
-	"(*sync/atomic.Uint64).Store": true,
+	"(*sync/atomic.Int64).Add":             true,
+	"(*sync/atomic.Int64).Load":            true,
+	"(*sync/atomic.Int64).Store":           true,
+	"(*sync/atomic.Uint32).Load":           true,
+	"(*sync/atomic.Uint64).Add":            true,
+	"(*sync/atomic.Uint64).Load":           true,
+	"(*sync/atomic.Uint64).Store":          true,
+	"(*sync/atomic.Uint64).CompareAndSwap": true,
 
 	// Uncontended mutex fast paths are a CAS; the slow path parks the
 	// goroutine without allocating.  Rostering them lets the warm

@@ -11,7 +11,10 @@ package lint
 // allowed in package-level var initializers, init functions, and
 // New*/new* constructors; names must be compile-time constant
 // snake_case identifiers; and each name is registered exactly once
-// across the module.
+// across the module.  obs.NewStage calls are held to the identical
+// rules — a stage mints a scg_stage_<name>_ns histogram, so a hot-path
+// or duplicate stage registration is the same leak wearing a different
+// constructor.
 
 import (
 	"fmt"
@@ -34,8 +37,11 @@ var registryMethods = map[string]bool{
 	"Pow2Hist":    true,
 }
 
-// metricIndex maps each constant metric name to its registration
-// sites across the analysis scope, in position order.
+// metricIndex maps each constant metric (or stage) name to its
+// registration sites across the analysis scope, in position order.
+// Stage names live under a "stage:" key prefix so a stage and a metric
+// may legitimately share a bare name without tripping the once-only
+// check.
 type metricIndex struct {
 	sites map[string][]token.Position
 }
@@ -47,11 +53,16 @@ func buildMetricIndex(m *Module, scope []*Package) *metricIndex {
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
-				if !ok || !isRegistration(pkg.Info, call) {
+				if !ok {
+					return true
+				}
+				_, keyPrefix, ok := registrationKind(pkg.Info, call)
+				if !ok {
 					return true
 				}
 				if name, isConst := metricName(pkg.Info, call); isConst {
-					idx.sites[name] = append(idx.sites[name], m.Fset.Position(call.Pos()))
+					key := keyPrefix + name
+					idx.sites[key] = append(idx.sites[key], m.Fset.Position(call.Pos()))
 				}
 				return true
 			})
@@ -87,6 +98,37 @@ func isRegistration(info *types.Info, call *ast.CallExpr) bool {
 		named.Obj().Pkg() != nil && strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
 }
 
+// isStageRegistration reports whether the call is obs.NewStage.  A
+// stage registers a histogram under a name derived from its argument,
+// so call sites obey the same discipline as direct metric
+// registration: constant snake_case name, startup context, once
+// module-wide.
+func isStageRegistration(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeOf(info, call).(*types.Func)
+	if !ok || fn.Name() != "NewStage" || len(call.Args) == 0 {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/obs")
+}
+
+// registrationKind classifies a call as a metric or stage
+// registration, returning the wording for findings and the index key
+// prefix; ok is false for anything else.
+func registrationKind(info *types.Info, call *ast.CallExpr) (kind, keyPrefix string, ok bool) {
+	switch {
+	case isRegistration(info, call):
+		return "metric", "", true
+	case isStageRegistration(info, call):
+		return "stage", "stage:", true
+	default:
+		return "", "", false
+	}
+}
+
 // metricName extracts the constant string value of the name argument.
 func metricName(info *types.Info, call *ast.CallExpr) (string, bool) {
 	tv, ok := info.Types[call.Args[0]]
@@ -114,19 +156,20 @@ func validSnakeCase(name string) bool {
 func runObs(r *Run, pkg *Package) []Finding {
 	var out []Finding
 	check := func(call *ast.CallExpr, ctx string) {
-		if !isRegistration(pkg.Info, call) {
+		kind, keyPrefix, isReg := registrationKind(pkg.Info, call)
+		if !isReg {
 			return
 		}
 		name, isConst := metricName(pkg.Info, call)
 		if !isConst {
 			out = append(out, r.finding("obs-discipline", call.Args[0],
-				"metric name is not a compile-time constant",
+				kind+" name is not a compile-time constant",
 				"register under a literal (or const) snake_case name so the inventory is statically known"))
 			return
 		}
 		if !validSnakeCase(name) {
 			out = append(out, r.finding("obs-discipline", call.Args[0],
-				fmt.Sprintf("metric name %q is not a valid snake_case identifier", name),
+				fmt.Sprintf("%s name %q is not a valid snake_case identifier", kind, name),
 				"use lowercase letters, digits and underscores, starting with a letter"))
 		}
 		switch {
@@ -135,20 +178,20 @@ func runObs(r *Run, pkg *Package) []Finding {
 			// Startup context: fine.
 		case ctx == "closure":
 			out = append(out, r.finding("obs-discipline", call,
-				fmt.Sprintf("metric %q registered inside a function literal", name),
+				fmt.Sprintf("%s %q registered inside a function literal", kind, name),
 				"register once at package init or in a constructor, not in a callback"))
 		default:
 			out = append(out, r.finding("obs-discipline", call,
-				fmt.Sprintf("metric %q registered on a potential hot path (function %s)", name, ctx),
+				fmt.Sprintf("%s %q registered on a potential hot path (function %s)", kind, name, ctx),
 				"move the registration to a package-level var, init, or a New* constructor"))
 		}
-		sites := r.metrics.sites[name]
+		sites := r.metrics.sites[keyPrefix+name]
 		if len(sites) > 1 {
 			pos := r.Fset.Position(call.Pos())
 			if pos != sites[0] {
 				out = append(out, r.finding("obs-discipline", call,
-					fmt.Sprintf("metric %q already registered at %s", name, sites[0]),
-					"every metric name is registered exactly once module-wide"))
+					fmt.Sprintf("%s %q already registered at %s", kind, name, sites[0]),
+					fmt.Sprintf("every %s name is registered exactly once module-wide", kind)))
 			}
 		}
 	}

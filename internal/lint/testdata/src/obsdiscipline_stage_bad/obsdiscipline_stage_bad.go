@@ -1,0 +1,24 @@
+// Package obsdiscipline_stage_bad registers stages every disallowed
+// way: on a hot path, twice, under a malformed name, under a dynamic
+// name, and inside a callback.  (Fixtures are type-checked, never run,
+// so obs.NewStage's own runtime panics stay dormant.)
+package obsdiscipline_stage_bad
+
+import "supercayley/internal/obs"
+
+var dynName = "fixture_stage_dynamic"
+
+func handle() {
+	obs.NewStage("fixture_stage_hot") // want obs-discipline
+}
+
+func init() {
+	obs.NewStage("fixture_stage_dup")
+	obs.NewStage("fixture_stage_dup") // want obs-discipline
+	obs.NewStage("FixtureStageBad")   // want obs-discipline
+	obs.NewStage(dynName)             // want obs-discipline
+	obs.Default.GaugeFunc("fixture_stage_gauge", "h", func() float64 {
+		obs.NewStage("fixture_stage_closure") // want obs-discipline
+		return 0
+	})
+}

@@ -1,0 +1,23 @@
+// Package obsdiscipline_stage_ok registers flight-recorder stages at
+// startup only, under constant snake_case names: package-level vars,
+// init, and constructors — the same allowances metric registration
+// enjoys.
+package obsdiscipline_stage_ok
+
+import "supercayley/internal/obs"
+
+const stageName = "fixture_stage_ok_const"
+
+var stVar = obs.NewStage("fixture_stage_ok_var")
+
+var stConst = obs.NewStage(stageName)
+
+type recorder struct{ s obs.Stage }
+
+func NewRecorder() *recorder {
+	return &recorder{s: obs.NewStage("fixture_stage_ok_ctor")}
+}
+
+func init() {
+	obs.NewStage("fixture_stage_ok_init")
+}

@@ -1,0 +1,37 @@
+//go:build !race
+
+// The race detector instruments atomics with allocating shadows, so
+// the zero-allocation guard only holds (and only runs) without -race;
+// the same path's race-safety is covered by TestFlightConcurrentHammer.
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+var stFlightAlloc = NewStage("flight_test_alloc")
+
+// TestFlightRecordAllocFree pins the recorder's hot half: a full
+// Begin → Mark → Finish journey — including the retain copy, since
+// 1-in-1 sampling keeps every journey — allocates nothing.
+func TestFlightRecordAllocFree(t *testing.T) {
+	r := NewFlightRecorder(FlightConfig{Rings: 1, SlotsPerRing: 8, Sample: 1, TailKeep: 4, Window: time.Hour})
+	var j Journey
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Begin(&j, JourneyRoute)
+		j.Mark(stFlightAlloc)
+		j.Mark(stFlightAlloc)
+		j.SetPairs(1)
+		r.Finish(&j)
+	}); n != 0 {
+		t.Fatalf("journey record allocates %.1f times per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { _ = NowNs() }); n != 0 {
+		t.Fatalf("NowNs allocates %.1f times per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { stFlightAlloc.Observe(0, 42) }); n != 0 {
+		t.Fatalf("Stage.Observe allocates %.1f times per op, want 0", n)
+	}
+}

@@ -93,15 +93,24 @@ type Job struct {
 	err        error
 	enq        time.Time
 	done       chan *Job
+	jny        obs.Journey
 }
 
-// Reset empties the job for reuse, keeping its buffers.
+// Journey returns the job's embedded flight-recorder journey.  The
+// HTTP handlers Begin it at request entry; jobs submitted without a
+// Begin carry an inactive journey, whose marks are no-ops.
+func (j *Job) Journey() *obs.Journey { return &j.jny }
+
+// Reset empties the job for reuse, keeping its buffers.  The journey
+// is deactivated so a recycled job cannot attribute marks to a
+// previous request.
 func (j *Job) Reset() {
 	j.srcs = j.srcs[:0]
 	j.dsts = j.dsts[:0]
 	j.lens = j.lens[:0]
 	j.steps = j.steps[:0]
 	j.err = nil
+	j.jny.Cancel()
 }
 
 // AddPair appends one (src, dst) rank pair.
@@ -281,6 +290,7 @@ func (b *Batcher) worker(slot int) {
 		if !ok {
 			return
 		}
+		j.jny.Mark(stQueueWait)
 		batch = append(batch[:0], j)
 		pairs := j.Pairs()
 		closed := false
@@ -295,6 +305,7 @@ func (b *Batcher) worker(slot int) {
 						closed = true
 						break collect
 					}
+					j2.jny.Mark(stQueueWait)
 					batch = append(batch, j2)
 					pairs += j2.Pairs()
 				case <-timer.C:
@@ -329,6 +340,7 @@ func (b *Batcher) flush(slot int, batch []*Job, srcs, dsts []int64, out *core.Bu
 		dsts = append(dsts, j.dsts...)
 		pairs += j.Pairs()
 		hQueueWaitNs.Observe(slot, uint64(now.Sub(j.enq)))
+		j.jny.Mark(stBatchWait)
 	}
 	b.queuedPairs.Add(-int64(pairs))
 	err := b.router.RouteManyInto(out, srcs, dsts) //scg:ignore noalloc -- interface call lint cannot see through: every core.Router's warm RouteManyInto is alloc-free, pinned by the CI alloc guards
@@ -348,6 +360,7 @@ func (b *Batcher) flush(slot int, batch []*Job, srcs, dsts []int64, out *core.Bu
 			off += j.Pairs()
 			mPairsServed.AddAt(slot, uint64(j.Pairs()))
 		}
+		j.jny.Mark(stRouteMany)
 		j.done <- j
 	}
 	return srcs, dsts

@@ -135,11 +135,16 @@ type LoadtestReport struct {
 	ServerP99Ns    uint64 `json:"server_p99_ns"`
 	QueueWaitP50Ns uint64 `json:"queue_wait_p50_ns"`
 	QueueWaitP99Ns uint64 `json:"queue_wait_p99_ns"`
+
+	// Stages is the flight recorder's per-stage latency breakdown over
+	// the measured window (delta of every scg_stage_*_ns histogram).
+	Stages []obs.StageLat `json:"stages,omitempty"`
 }
 
-// String renders the headline numbers on a few lines.
+// String renders the headline numbers on a few lines, followed by the
+// per-stage latency breakdown when the run recorded one.
 func (r *LoadtestReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"loadtest %s (%s lane, bulk=%d, conns=%d): offered %.0f routes/s for %.1fs\n"+
 			"  completed %d routes in %d requests (%.0f routes/s sustained, mean len %.2f, mean batch %.0f pairs)\n"+
 			"  rejected: %d × 429, %d × 503\n"+
@@ -150,6 +155,10 @@ func (r *LoadtestReport) String() string {
 		r.Rejected429, r.Rejected503,
 		nsString(r.ClientP50Ns), nsString(r.ClientP99Ns), nsString(r.ClientP999Ns),
 		nsString(r.ServerP50Ns), nsString(r.ServerP99Ns), nsString(r.QueueWaitP50Ns), nsString(r.QueueWaitP99Ns))
+	if len(r.Stages) > 0 {
+		s += "\n  stage breakdown (server side, measured window):\n" + obs.FormatStageTable(r.Stages)
+	}
+	return s
 }
 
 func nsString(ns uint64) string { return time.Duration(ns).String() }
@@ -304,6 +313,7 @@ func Loadtest(cfg LoadtestConfig) (*LoadtestReport, error) {
 	if batches := histDelta(before, after, "scg_serve_batch_pairs"); batches.Count > 0 {
 		rep.MeanBatchPairs = float64(batches.Sum) / float64(batches.Count)
 	}
+	rep.Stages = obs.StageBreakdown(&before, &after)
 	return rep, nil
 }
 

@@ -38,3 +38,24 @@ var (
 	hRequestNs = obs.Default.Pow2Hist("scg_serve_request_ns",
 		"end-to-end service nanoseconds per admitted request (handler entry to response)")
 )
+
+// Pipeline stages for the flight recorder.  A sampled request's
+// journey tiles these marks contiguously — decode, admission, queue
+// wait, batch wait, RouteManyInto, resume, encode — so the spans sum
+// exactly to the journey's wall time and the Chrome trace shows where
+// every nanosecond went.
+var (
+	stDecode    = obs.NewStage("decode")
+	stAdmission = obs.NewStage("admission")
+	stQueueWait = obs.NewStage("queue_wait")
+	stBatchWait = obs.NewStage("batch_wait")
+	stRouteMany = obs.NewStage("route_many")
+	stResume    = obs.NewStage("resume")
+	stEncode    = obs.NewStage("encode")
+)
+
+func init() {
+	// Rolling-window quantiles and the serve SLO read this histogram's
+	// per-window deltas.
+	obs.Windows.Track("scg_serve_request_ns")
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"supercayley/internal/core"
+	"supercayley/internal/obs"
 )
 
 // BulkContentType selects the binary bulk framing.
@@ -173,32 +174,45 @@ func (s *Service) handleRoute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a JSON body {\"src\": rank, \"dst\": rank}")
 		return
 	}
+	// The job comes first so its journey covers decode onward; every
+	// early return releases it, which deactivates the journey on the
+	// next Reset.
+	j := s.b.NewJob()
+	jny := j.Journey()
+	obs.Flight.Begin(jny, obs.JourneyRoute)
 	var req routeRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<10)).Decode(&req); err != nil {
+		s.b.Release(j)
 		mRejBadRequest.Inc()
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
+	jny.Mark(stDecode)
 	if !s.admit(w, r, 1) {
+		s.b.Release(j)
 		return
 	}
-	j := s.b.NewJob()
+	jny.Mark(stAdmission)
 	j.AddPair(req.Src, req.Dst)
+	jny.SetPairs(1)
 	if err := s.b.Submit(j); err != nil {
 		s.b.Release(j)
 		s.reject(w, err)
 		return
 	}
+	jny.Mark(stResume)
 	mReqRoute.Inc()
 	mPairsAdmitted.Inc()
 	resp := routeResponse{Src: req.Src, Dst: req.Dst, Hops: int(j.lens[0]), Ports: make([]int, j.lens[0])}
 	for i, p := range j.steps[:j.lens[0]] {
 		resp.Ports[i] = int(p)
 	}
-	s.b.Release(j)
 	w.Header().Set("Content-Type", "application/json")
 	blob, _ := json.Marshal(resp)
 	w.Write(append(blob, '\n'))
+	jny.Mark(stEncode)
+	obs.Flight.Finish(jny)
+	s.b.Release(j)
 	hRequestNs.Observe(0, uint64(time.Since(t0)))
 }
 
@@ -225,6 +239,8 @@ func (s *Service) handleBulk(w http.ResponseWriter, r *http.Request) {
 	binaryLane := r.Header.Get("Content-Type") == BulkContentType
 	j := s.b.NewJob()
 	defer s.b.Release(j)
+	jny := j.Journey()
+	obs.Flight.Begin(jny, obs.JourneyBulk)
 	var err error
 	if binaryLane {
 		err = s.decodeBulkBinary(r, j)
@@ -236,13 +252,17 @@ func (s *Service) handleBulk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	jny.Mark(stDecode)
 	if !s.admit(w, r, j.Pairs()) {
 		return
 	}
+	jny.Mark(stAdmission)
+	jny.SetPairs(j.Pairs())
 	if err := s.b.Submit(j); err != nil {
 		s.reject(w, err)
 		return
 	}
+	jny.Mark(stResume)
 	mReqBulk.Inc()
 	mPairsAdmitted.Add(uint64(j.Pairs()))
 	if binaryLane {
@@ -250,6 +270,8 @@ func (s *Service) handleBulk(w http.ResponseWriter, r *http.Request) {
 	} else {
 		writeBulkJSON(w, j)
 	}
+	jny.Mark(stEncode)
+	obs.Flight.Finish(jny)
 	hRequestNs.Observe(0, uint64(time.Since(t0)))
 }
 

@@ -33,6 +33,11 @@ var (
 		"route-cache entries rehydrated by warm-state restores")
 )
 
+// stDispatch times sampled dispatches end to end (hit or cold); the
+// deeper cache/table/kernel stages come from internal/core's shared
+// stage roster.
+var stDispatch = obs.NewStage("shard_dispatch")
+
 // liveEngines is the census roster behind the callback gauges.
 var liveEngines struct {
 	mu   sync.Mutex

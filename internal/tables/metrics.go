@@ -37,6 +37,10 @@ var (
 		"wall time of initial table builds, ns")
 )
 
+// stFaultIn times synchronous band fault-ins on the route path — the
+// classic tail-latency culprit the flight recorder exists to expose.
+var stFaultIn = obs.NewStage("table_fault_in")
+
 // liveTables is the census roster behind the callback gauges; every
 // Build/Load registers its table.
 var liveTables struct {

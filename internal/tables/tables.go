@@ -51,6 +51,7 @@ import (
 
 	"supercayley/internal/core"
 	"supercayley/internal/gens"
+	"supercayley/internal/obs"
 	"supercayley/internal/perm"
 )
 
@@ -418,8 +419,12 @@ func (t *Table) band(b int64) *[]uint8 {
 		mBudgetRefused.Inc()
 		return nil
 	}
+	t0 := obs.NowNs()
 	dims := make([]uint8, hi-lo)
 	buildRange(dims, nil, nil, t.k, lo, hi, 1)
+	// Fault-ins are rare and expensive (a synchronous band build on the
+	// route path), so every one is timed — no sampling gate.
+	stFaultIn.Observe(int(b), uint64(obs.NowNs()-t0))
 	p := &dims
 	if !t.bands[b].CompareAndSwap(nil, p) {
 		return t.bands[b].Load() // concurrent faulter won the publish
